@@ -1,0 +1,230 @@
+package trustedcells
+
+// This file holds one benchmark per experiment of the evaluation suite
+// defined in DESIGN.md (the paper itself, a vision paper, has no tables or
+// figures; E1–E8 and the Figure 1 walk-through are the synthetic suite that
+// substantiates each architectural claim). The same code paths back
+// cmd/tcbench, which prints the full tables; the benchmarks here measure the
+// cost of regenerating each experiment and keep them exercised by
+// `go test -bench`.
+
+import (
+	"testing"
+	"time"
+
+	"trustedcells/internal/sim"
+	"trustedcells/internal/tamper"
+	"trustedcells/internal/timeseries"
+)
+
+// benchE1Config is a reduced E1 configuration so the benchmark stays short.
+func benchE1Config() sim.E1Config {
+	cfg := sim.DefaultE1Config()
+	cfg.Duration = 2 * time.Hour
+	cfg.Granularities = []timeseries.Granularity{
+		timeseries.GranularitySecond, timeseries.Granularity15Min,
+	}
+	return cfg
+}
+
+// BenchmarkE1GranularityPrivacy regenerates experiment E1 (appliance
+// inference vs reporting granularity).
+func BenchmarkE1GranularityPrivacy(b *testing.B) {
+	cfg := benchE1Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2EmbeddedEngine regenerates experiment E2 (embedded storage
+// engine across hardware profiles).
+func BenchmarkE2EmbeddedEngine(b *testing.B) {
+	cfg := sim.E2Config{Records: 2000, ValueLen: 64, Lookups: 500,
+		Classes: []tamper.HardwareClass{tamper.ClassSecureToken, tamper.ClassTrustZonePhone}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3SharingLatency regenerates experiment E3 (secure sharing cost).
+func BenchmarkE3SharingLatency(b *testing.B) {
+	cfg := sim.E3Config{PayloadSizes: []int{1 << 10, 64 << 10}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4CommonsScale regenerates experiment E4 (shared commons secure
+// aggregation at increasing population sizes).
+func BenchmarkE4CommonsScale(b *testing.B) {
+	cfg := sim.E4Config{Populations: []int{10, 100, 200}, Aggregators: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5TamperDetection regenerates experiment E5 (integrity attack
+// detection against the weakly-malicious cloud).
+func BenchmarkE5TamperDetection(b *testing.B) {
+	cfg := sim.E5Config{Blobs: 200, BlobSize: 1 << 10, TamperRates: []float64{0.01, 0.1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Exposure regenerates experiment E6 (centralized vault vs trusted
+// cells: breach exposure, policy change, read overhead).
+func BenchmarkE6Exposure(b *testing.B) {
+	cfg := sim.E6Config{Users: 100, DocsPerUser: 3, Reads: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7WeakSync regenerates experiment E7 (catalog synchronization
+// under weak connectivity).
+func BenchmarkE7WeakSync(b *testing.B) {
+	cfg := sim.E7Config{Updates: 100, DisconnectRates: []float64{0, 0.6}, Seed: 11, MaxRecoverRounds: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8CommonsUtility regenerates experiment E8 (k-anonymity
+// information loss and differential-privacy error).
+func BenchmarkE8CommonsUtility(b *testing.B) {
+	cfg := sim.E8Config{Records: 1000, Seed: 17, Ks: []int{2, 10}, Epsilons: []float64{0.5, 2}, Trials: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunE8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture
+// walk-through (all flows of the paper's only figure).
+func BenchmarkFig1Walkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMetadataFirst and BenchmarkAblationFetchEverything compare
+// the metadata-first query strategy (the catalog answers keyword queries
+// inside the cell) against the naive alternative of fetching and decrypting
+// every payload to decide whether it matches — the ablation called out in
+// DESIGN.md for the "metadata kept locally" design decision.
+func BenchmarkAblationMetadataFirst(b *testing.B) {
+	cell, docIDs := ablationCell(b)
+	_ = docIDs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs, err := cell.Search(Query{Keyword: "rare"})
+		if err != nil || len(docs) != 10 {
+			b.Fatalf("search: %d docs, %v", len(docs), err)
+		}
+	}
+}
+
+func BenchmarkAblationFetchEverything(b *testing.B) {
+	cell, docIDs := ablationCell(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches := 0
+		for _, id := range docIDs {
+			payload, err := cell.Read("owner", id, AccessContext{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(payload) > 0 && payload[0] == 'R' { // marker of "rare" documents
+				matches++
+			}
+		}
+		if matches != 10 {
+			b.Fatalf("fetch-everything found %d matches", matches)
+		}
+	}
+}
+
+func ablationCell(b *testing.B) (*Cell, []string) {
+	b.Helper()
+	cell, err := NewCell(CellConfig{ID: "ablation", Class: ClassHomeGateway,
+		Cloud: NewMemoryCloud(), Seed: []byte("ablation")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cell.AddRule(Rule{ID: "owner", Effect: EffectAllow, SubjectIDs: []string{"owner"},
+		Actions: []Action{ActionRead}}); err != nil {
+		b.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 200; i++ {
+		keywords := []string{"common"}
+		payload := make([]byte, 512)
+		if i%20 == 0 {
+			keywords = append(keywords, "rare")
+			payload[0] = 'R'
+		}
+		payload[1] = byte(i)
+		doc, err := cell.Ingest(payload, IngestOptions{Class: ClassAuthored, Type: "note",
+			Title: "n", Keywords: keywords})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, doc.ID)
+	}
+	return cell, ids
+}
+
+// BenchmarkCellIngestRead measures the steady-state cost of the reference
+// monitor itself: one sealed ingest plus one policy-checked read.
+func BenchmarkCellIngestRead(b *testing.B) {
+	svc := NewMemoryCloud()
+	cell, err := NewCell(CellConfig{ID: "bench-cell", Class: ClassHomeGateway, Cloud: svc, Seed: []byte("bench")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cell.AddRule(Rule{ID: "owner", Effect: EffectAllow, SubjectIDs: []string{"owner"},
+		Actions: []Action{ActionRead}}); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0] = byte(i)
+		payload[1] = byte(i >> 8)
+		payload[2] = byte(i >> 16)
+		doc, err := cell.Ingest(payload, IngestOptions{Class: ClassAuthored, Type: "note", Title: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cell.Read("owner", doc.ID, AccessContext{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

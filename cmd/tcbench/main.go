@@ -1,0 +1,53 @@
+// Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
+// table per experiment (E1–E8) plus the Figure 1 architecture walk-through.
+//
+//	tcbench -experiment all          # run everything
+//	tcbench -experiment e4           # one experiment
+//	tcbench -experiment fig1 -out report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"trustedcells/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (e1..e8, fig1) or 'all'")
+		out        = flag.String("out", "", "write the report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tcbench: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := []string{strings.ToLower(*experiment)}
+	if *experiment == "all" {
+		ids = sim.ExperimentIDs()
+	}
+	for _, id := range ids {
+		table, err := sim.Run(id)
+		if err != nil {
+			log.Fatalf("tcbench: experiment %s: %v", id, err)
+		}
+		if err := table.Render(w); err != nil {
+			log.Fatalf("tcbench: rendering %s: %v", id, err)
+		}
+	}
+	if *out != "" {
+		fmt.Printf("tcbench: wrote %d experiment(s) to %s\n", len(ids), *out)
+	}
+}

@@ -1,0 +1,62 @@
+// Command tccloud runs the untrusted infrastructure of the trusted-cells
+// architecture as a standalone TCP server: an encrypted-blob store plus
+// mailboxes for cell-to-cell messages. Cells (cmd/tccell) and applications
+// connect to it with trustedcells.DialCloud.
+//
+// The server can be started with an adversarial behaviour to demonstrate that
+// cells detect integrity attacks:
+//
+//	tccloud -addr :7070 -adversary tampering -rate 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"trustedcells/internal/cloud"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "address to listen on")
+		adversary = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping")
+		rate      = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
+		seed      = flag.Int64("seed", 1, "adversary random seed")
+	)
+	flag.Parse()
+
+	cfg := cloud.AdversaryConfig{Seed: *seed}
+	switch strings.ToLower(*adversary) {
+	case "honest":
+		cfg.Mode = cloud.Honest
+	case "curious", "honest-but-curious":
+		cfg.Mode = cloud.HonestButCurious
+	case "tampering":
+		cfg.Mode = cloud.Tampering
+		cfg.TamperRate = *rate
+	case "replaying":
+		cfg.Mode = cloud.Replaying
+		cfg.ReplayRate = *rate
+	case "dropping":
+		cfg.Mode = cloud.Dropping
+		cfg.DropRate = *rate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown adversary mode %q\n", *adversary)
+		os.Exit(2)
+	}
+
+	svc := cloud.NewMemoryWithAdversary(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tccloud: listen: %v", err)
+	}
+	log.Printf("tccloud: serving the untrusted infrastructure on %s (adversary=%s)", ln.Addr(), cfg.Mode)
+	srv := cloud.NewServer(svc)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("tccloud: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package audit implements the accountability subsystem of a trusted cell:
+// an append-only, hash-chained audit log of every access and usage decision,
+// which can be encrypted and pushed to the cloud "to the destination of the
+// originator trusted cell" so that data owners can verify how their shared
+// data was used.
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustedcells/internal/crypto"
+)
+
+// Errors returned by the log.
+var (
+	ErrChainBroken = errors.New("audit: hash chain verification failed")
+	ErrBadSegment  = errors.New("audit: exported segment is invalid")
+)
+
+// Outcome is the decision recorded for an audited event.
+type Outcome string
+
+// Outcomes.
+const (
+	OutcomeAllowed Outcome = "allowed"
+	OutcomeDenied  Outcome = "denied"
+	OutcomeError   Outcome = "error"
+)
+
+// Record is one audited event.
+type Record struct {
+	// Seq is the position in the log (assigned by Append).
+	Seq uint64 `json:"seq"`
+	// Time of the event.
+	Time time.Time `json:"time"`
+	// Actor is the subject that attempted the action.
+	Actor string `json:"actor"`
+	// Action names the attempted operation (read, share, aggregate, ...).
+	Action string `json:"action"`
+	// Resource identifies the data concerned.
+	Resource string `json:"resource"`
+	// Outcome of the reference-monitor decision.
+	Outcome Outcome `json:"outcome"`
+	// Reason explains the outcome (rule ID, error, ...).
+	Reason string `json:"reason"`
+	// Originator, when non-empty, identifies the cell that must receive a
+	// copy of this record (accountability obligation of shared data).
+	Originator string `json:"originator,omitempty"`
+	// ChainHead is the hash-chain head after appending this record.
+	ChainHead []byte `json:"chain_head"`
+}
+
+// Log is a hash-chained audit log. It is kept inside the cell; Export
+// produces an encrypted segment for the cloud.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	chain   *crypto.HashChain
+}
+
+// NewLog creates an empty audit log.
+func NewLog() *Log {
+	return &Log{chain: crypto.NewHashChain()}
+}
+
+// payload produces the canonical bytes that are chained for a record (the
+// chain head itself is excluded).
+func payload(r Record) []byte {
+	clone := r
+	clone.ChainHead = nil
+	b, _ := json.Marshal(&clone)
+	return b
+}
+
+// Append adds a record to the log, assigning its sequence number and chain
+// head. It returns the stored record.
+func (l *Log) Append(r Record) Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Seq = uint64(len(l.records)) + 1
+	r.ChainHead = l.chain.Append(payload(r))
+	l.records = append(l.records, r)
+	return r
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Head returns the current chain head; storing it in tamper-resistant memory
+// lets the cell detect truncation of an externalized log.
+func (l *Log) Head() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain.Head()
+}
+
+// Records returns a copy of all records (for queries and tests).
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Query returns the records matching the non-empty filters.
+func (l *Log) Query(actor, resource string, outcome Outcome) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.records {
+		if actor != "" && r.Actor != actor {
+			continue
+		}
+		if resource != "" && r.Resource != resource {
+			continue
+		}
+		if outcome != "" && r.Outcome != outcome {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Verify recomputes the hash chain over all records and checks that it
+// matches the stored heads and the current head. Any in-place modification,
+// reordering or truncation of records is detected.
+func (l *Log) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	chain := crypto.NewHashChain()
+	for i, r := range l.records {
+		head := chain.Append(payload(r))
+		if string(head) != string(r.ChainHead) {
+			return fmt.Errorf("%w: record %d", ErrChainBroken, i+1)
+		}
+	}
+	if string(chain.Head()) != string(l.chain.Head()) {
+		return ErrChainBroken
+	}
+	return nil
+}
+
+// Segment is an exported, encrypted slice of the audit log destined to an
+// originator cell.
+type Segment struct {
+	// Originator identifies the intended recipient of the segment.
+	Originator string `json:"originator"`
+	// FromSeq/ToSeq delimit the exported records (inclusive).
+	FromSeq uint64 `json:"from_seq"`
+	ToSeq   uint64 `json:"to_seq"`
+	// Sealed is the encrypted JSON array of records.
+	Sealed []byte `json:"sealed"`
+}
+
+// Export extracts all records destined to originator (Record.Originator) and
+// seals them under key. The segment can be pushed to the cloud mailbox of the
+// originator.
+func (l *Log) Export(originator string, key crypto.SymmetricKey) (*Segment, error) {
+	l.mu.Lock()
+	var selected []Record
+	for _, r := range l.records {
+		if r.Originator == originator {
+			selected = append(selected, r)
+		}
+	}
+	l.mu.Unlock()
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("audit: no records destined to %q", originator)
+	}
+	plain, err := json.Marshal(selected)
+	if err != nil {
+		return nil, fmt.Errorf("audit: export: %w", err)
+	}
+	sealed, err := crypto.Seal(key, plain, []byte("audit-segment:"+originator))
+	if err != nil {
+		return nil, fmt.Errorf("audit: export: %w", err)
+	}
+	return &Segment{
+		Originator: originator,
+		FromSeq:    selected[0].Seq,
+		ToSeq:      selected[len(selected)-1].Seq,
+		Sealed:     sealed,
+	}, nil
+}
+
+// OpenSegment decrypts a segment with the shared key and returns its records.
+func OpenSegment(s *Segment, key crypto.SymmetricKey) ([]Record, error) {
+	plain, ad, err := crypto.Open(key, s.Sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	if string(ad) != "audit-segment:"+s.Originator {
+		return nil, fmt.Errorf("%w: segment bound to a different originator", ErrBadSegment)
+	}
+	var records []Record
+	if err := json.Unmarshal(plain, &records); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+	}
+	return records, nil
+}

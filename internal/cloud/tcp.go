@@ -1,0 +1,262 @@
+package cloud
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// This file exposes a Service over TCP with a small JSON line protocol, so a
+// cell binary (cmd/tccell) can talk to a cloud binary (cmd/tccloud) exactly
+// as Figure 1 sketches. Each request is one JSON object on a line; each
+// response is one JSON object on a line.
+
+// rpcRequest is the wire format of a request.
+type rpcRequest struct {
+	Op        string  `json:"op"`
+	Name      string  `json:"name,omitempty"`
+	Data      []byte  `json:"data,omitempty"`
+	Prefix    string  `json:"prefix,omitempty"`
+	Recipient string  `json:"recipient,omitempty"`
+	Max       int     `json:"max,omitempty"`
+	Message   Message `json:"message,omitempty"`
+}
+
+// rpcResponse is the wire format of a response.
+type rpcResponse struct {
+	Err      string    `json:"err,omitempty"`
+	Version  int       `json:"version,omitempty"`
+	Blob     *Blob     `json:"blob,omitempty"`
+	Names    []string  `json:"names,omitempty"`
+	Messages []Message `json:"messages,omitempty"`
+	Stats    *Stats    `json:"stats,omitempty"`
+}
+
+// Server serves a Service over a listener.
+type Server struct {
+	svc Service
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer wraps svc; call Serve to start accepting connections.
+func NewServer(svc Service) *Server { return &Server{svc: svc} }
+
+// Serve accepts connections on ln until Close is called. It returns after the
+// listener is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("cloud: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req rpcRequest) rpcResponse {
+	var resp rpcResponse
+	switch req.Op {
+	case "put":
+		v, err := s.svc.PutBlob(req.Name, req.Data)
+		resp.Version = v
+		resp.Err = errString(err)
+	case "get":
+		b, err := s.svc.GetBlob(req.Name)
+		if err == nil {
+			resp.Blob = &b
+		}
+		resp.Err = errString(err)
+	case "delete":
+		resp.Err = errString(s.svc.DeleteBlob(req.Name))
+	case "list":
+		names, err := s.svc.ListBlobs(req.Prefix)
+		resp.Names = names
+		resp.Err = errString(err)
+	case "send":
+		resp.Err = errString(s.svc.Send(req.Message))
+	case "receive":
+		msgs, err := s.svc.Receive(req.Recipient, req.Max)
+		resp.Messages = msgs
+		resp.Err = errString(err)
+	case "stats":
+		st := s.svc.Stats()
+		resp.Stats = &st
+	default:
+		resp.Err = fmt.Sprintf("cloud: unknown op %q", req.Op)
+	}
+	return resp
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Client is a Service implementation that talks to a remote Server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a cloud server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req rpcRequest) (rpcResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return rpcResponse{}, fmt.Errorf("cloud: rpc send: %w", err)
+	}
+	var resp rpcResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return rpcResponse{}, fmt.Errorf("cloud: rpc receive: %w", err)
+	}
+	return resp, nil
+}
+
+func respError(resp rpcResponse) error {
+	switch resp.Err {
+	case "":
+		return nil
+	case ErrBlobNotFound.Error():
+		return ErrBlobNotFound
+	case ErrUnavailable.Error():
+		return ErrUnavailable
+	default:
+		return errors.New(resp.Err)
+	}
+}
+
+// PutBlob implements Service.
+func (c *Client) PutBlob(name string, data []byte) (int, error) {
+	resp, err := c.call(rpcRequest{Op: "put", Name: name, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, respError(resp)
+}
+
+// GetBlob implements Service.
+func (c *Client) GetBlob(name string) (Blob, error) {
+	resp, err := c.call(rpcRequest{Op: "get", Name: name})
+	if err != nil {
+		return Blob{}, err
+	}
+	if err := respError(resp); err != nil {
+		return Blob{}, err
+	}
+	if resp.Blob == nil {
+		return Blob{}, ErrBlobNotFound
+	}
+	return *resp.Blob, nil
+}
+
+// DeleteBlob implements Service.
+func (c *Client) DeleteBlob(name string) error {
+	resp, err := c.call(rpcRequest{Op: "delete", Name: name})
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// ListBlobs implements Service.
+func (c *Client) ListBlobs(prefix string) ([]string, error) {
+	resp, err := c.call(rpcRequest{Op: "list", Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, respError(resp)
+}
+
+// Send implements Service.
+func (c *Client) Send(msg Message) error {
+	resp, err := c.call(rpcRequest{Op: "send", Message: msg})
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// Receive implements Service.
+func (c *Client) Receive(recipient string, max int) ([]Message, error) {
+	resp, err := c.call(rpcRequest{Op: "receive", Recipient: recipient, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Messages, respError(resp)
+}
+
+// Stats implements Service.
+func (c *Client) Stats() Stats {
+	resp, err := c.call(rpcRequest{Op: "stats"})
+	if err != nil || resp.Stats == nil {
+		return Stats{}
+	}
+	return *resp.Stats
+}

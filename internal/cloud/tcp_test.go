@@ -1,0 +1,108 @@
+package cloud
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// startServer starts a TCP cloud server on a random port and returns a
+// connected client plus a cleanup function.
+func startServer(t *testing.T, svc Service) *Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(svc)
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ln)
+		close(done)
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		<-done
+	})
+	return client
+}
+
+func TestTCPBlobRoundTrip(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+
+	v, err := client.PutBlob("alice/doc-1", []byte("sealed"))
+	if err != nil || v != 1 {
+		t.Fatalf("PutBlob over TCP: v=%d err=%v", v, err)
+	}
+	b, err := client.GetBlob("alice/doc-1")
+	if err != nil {
+		t.Fatalf("GetBlob over TCP: %v", err)
+	}
+	if !bytes.Equal(b.Data, []byte("sealed")) {
+		t.Fatalf("blob data %q", b.Data)
+	}
+	names, err := client.ListBlobs("alice/")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ListBlobs: %v %v", names, err)
+	}
+	if err := client.DeleteBlob("alice/doc-1"); err != nil {
+		t.Fatalf("DeleteBlob: %v", err)
+	}
+	if _, err := client.GetBlob("alice/doc-1"); err != ErrBlobNotFound {
+		t.Fatalf("expected ErrBlobNotFound through the client, got %v", err)
+	}
+}
+
+func TestTCPMailboxAndStats(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+
+	if err := client.Send(Message{From: "alice", To: "bob", Kind: "share", Body: []byte("hi")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msgs, err := client.Receive("bob", 10)
+	if err != nil || len(msgs) != 1 || string(msgs[0].Body) != "hi" {
+		t.Fatalf("Receive: %v %v", msgs, err)
+	}
+	st := client.Stats()
+	if st.Sends != 1 || st.Receives != 1 {
+		t.Fatalf("stats over TCP: %+v", st)
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	mem := NewMemory()
+	clientA := startServer(t, mem)
+	// Second client to the same server (its own connection).
+	clientB, err := Dial(clientA.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	defer clientB.Close()
+
+	if _, err := clientA.PutBlob("shared", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := clientB.GetBlob("shared")
+	if err != nil || string(b.Data) != "from-a" {
+		t.Fatalf("cross-client read: %v %v", b, err)
+	}
+}
+
+func TestTCPUnknownOp(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+	resp, err := client.call(rpcRequest{Op: "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("unknown op did not return an error")
+	}
+}

@@ -1,0 +1,244 @@
+package commons
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Errors returned by the anonymization helpers.
+var (
+	ErrBadK       = errors.New("commons: k must be at least 2")
+	ErrBadEpsilon = errors.New("commons: epsilon must be positive")
+)
+
+// QuasiRecord is the quasi-identifier view of an individual's record released
+// to the commons: age band, coarse location and a sensitive attribute that is
+// kept as-is (the release is protected by generalizing the quasi-identifiers
+// until every combination is shared by at least k individuals).
+type QuasiRecord struct {
+	AgeBand   string
+	ZIP3      string
+	Sensitive string
+}
+
+// ageBandOrder lists age bands from finest to the fully generalized "*".
+var ageBandGeneralization = map[string]string{
+	"18-30": "18-45", "31-45": "18-45",
+	"46-60": "46+", "61-75": "46+", "76+": "46+",
+	"18-45": "*", "46+": "*", "*": "*",
+}
+
+// generalizeAge coarsens an age band by one level.
+func generalizeAge(band string) string {
+	if g, ok := ageBandGeneralization[band]; ok {
+		return g
+	}
+	return "*"
+}
+
+// generalizeZIP drops the last significant digit of the ZIP prefix; after all
+// digits are gone it becomes "*".
+func generalizeZIP(zip string) string {
+	trimmed := strings.TrimRight(zip, "*")
+	if len(trimmed) <= 1 {
+		return "*"
+	}
+	return trimmed[:len(trimmed)-1] + strings.Repeat("*", len(zip)-len(trimmed)+1)
+}
+
+// KAnonymityResult is the outcome of Anonymize.
+type KAnonymityResult struct {
+	Records []QuasiRecord
+	// GeneralizationSteps is how many rounds of generalization were applied.
+	GeneralizationSteps int
+	// InformationLoss is a [0,1] measure: 0 = nothing generalized,
+	// 1 = everything fully suppressed.
+	InformationLoss float64
+	// SmallestClass is the size of the smallest equivalence class in the
+	// release (>= k on success).
+	SmallestClass int
+}
+
+// Anonymize generalizes the quasi-identifiers of the records until every
+// (AgeBand, ZIP3) combination appears at least k times, then returns the
+// generalized release and its information loss. Sensitive values are never
+// modified.
+func Anonymize(records []QuasiRecord, k int) (*KAnonymityResult, error) {
+	if k < 2 {
+		return nil, ErrBadK
+	}
+	if len(records) == 0 {
+		return &KAnonymityResult{}, nil
+	}
+	out := make([]QuasiRecord, len(records))
+	copy(out, records)
+
+	steps := 0
+	for ; steps <= 8; steps++ {
+		if smallestClass(out) >= k {
+			break
+		}
+		// Alternate generalizing ZIP and age for a simple global-recoding
+		// lattice walk.
+		for i := range out {
+			if steps%2 == 0 {
+				out[i].ZIP3 = generalizeZIP(out[i].ZIP3)
+			} else {
+				out[i].AgeBand = generalizeAge(out[i].AgeBand)
+			}
+		}
+	}
+	smallest := smallestClass(out)
+	if smallest < k {
+		// Fully suppress quasi-identifiers as a last resort.
+		for i := range out {
+			out[i].AgeBand = "*"
+			out[i].ZIP3 = "*"
+		}
+		steps++
+		smallest = len(out)
+	}
+	return &KAnonymityResult{
+		Records:             out,
+		GeneralizationSteps: steps,
+		InformationLoss:     informationLoss(records, out),
+		SmallestClass:       smallest,
+	}, nil
+}
+
+func smallestClass(records []QuasiRecord) int {
+	classes := make(map[string]int)
+	for _, r := range records {
+		classes[r.AgeBand+"|"+r.ZIP3]++
+	}
+	smallest := math.MaxInt
+	for _, n := range classes {
+		if n < smallest {
+			smallest = n
+		}
+	}
+	if smallest == math.MaxInt {
+		return 0
+	}
+	return smallest
+}
+
+// informationLoss compares the released quasi-identifiers to the originals:
+// each generalized attribute contributes proportionally to how much of its
+// precision was lost.
+func informationLoss(original, released []QuasiRecord) float64 {
+	if len(original) == 0 {
+		return 0
+	}
+	var loss float64
+	for i := range original {
+		loss += attributeLoss(original[i].AgeBand, released[i].AgeBand, ageLevels)
+		loss += attributeLoss(original[i].ZIP3, released[i].ZIP3, zipLevels)
+	}
+	return loss / float64(2*len(original))
+}
+
+func ageLevels(band string) int {
+	switch band {
+	case "*":
+		return 2
+	case "18-45", "46+":
+		return 1
+	default:
+		return 0
+	}
+}
+
+func zipLevels(zip string) int {
+	return strings.Count(zip, "*")
+}
+
+func attributeLoss(orig, released string, level func(string) int) float64 {
+	lo, lr := level(orig), level(released)
+	maxLevel := 3.0
+	if lr <= lo {
+		return 0
+	}
+	return float64(lr-lo) / maxLevel
+}
+
+// GroupCount is one cell of a histogram release.
+type GroupCount struct {
+	Group string
+	Count float64
+}
+
+// LaplaceMechanism perturbs per-group counts with Laplace noise of scale
+// sensitivity/epsilon, providing epsilon-differential privacy for counting
+// queries. The rng is injected so experiments are reproducible.
+func LaplaceMechanism(counts map[string]int, epsilon float64, rng *rand.Rand) ([]GroupCount, error) {
+	if epsilon <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	groups := make([]string, 0, len(counts))
+	for g := range counts {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	out := make([]GroupCount, 0, len(groups))
+	scale := 1.0 / epsilon // sensitivity of a count query is 1
+	for _, g := range groups {
+		noisy := float64(counts[g]) + laplace(rng, scale)
+		if noisy < 0 {
+			noisy = 0
+		}
+		out = append(out, GroupCount{Group: g, Count: noisy})
+	}
+	return out, nil
+}
+
+func laplace(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	if u == 0 {
+		return 0
+	}
+	sign := 1.0
+	if u < 0 {
+		sign = -1.0
+	}
+	return -scale * sign * math.Log(1-2*math.Abs(u))
+}
+
+// MeanAbsoluteError compares a noisy release with the true counts; the
+// utility metric of experiment E8.
+func MeanAbsoluteError(truth map[string]int, release []GroupCount) float64 {
+	if len(release) == 0 {
+		return 0
+	}
+	var total float64
+	for _, gc := range release {
+		total += math.Abs(gc.Count - float64(truth[gc.Group]))
+	}
+	return total / float64(len(release))
+}
+
+// HistogramFromSensitive builds the exact histogram of sensitive values; the
+// commons query whose releases E8 perturbs.
+func HistogramFromSensitive(records []QuasiRecord) map[string]int {
+	out := make(map[string]int)
+	for _, r := range records {
+		out[r.Sensitive]++
+	}
+	return out
+}
+
+// CrossHistogram counts records per (sensitive, attribute) pair; used by the
+// epidemiological example ("cross-analyzing diseases and alimentation").
+func CrossHistogram(records []QuasiRecord, attr func(QuasiRecord) string) map[string]int {
+	out := make(map[string]int)
+	for _, r := range records {
+		out[r.Sensitive+"|"+attr(r)]++
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package commons
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeParticipants(n int) ([]Participant, uint64) {
+	parts := make([]Participant, n)
+	var sum uint64
+	for i := range parts {
+		v := uint64(i%97 + 1)
+		parts[i] = Participant{ID: fmt.Sprintf("cell-%04d", i), Value: v}
+		sum += v
+	}
+	return parts, sum
+}
+
+func TestSecureSumPureSMC(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50} {
+		parts, want := makeParticipants(n)
+		res, err := SecureSum(parts, PureSMC, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Sum != want {
+			t.Fatalf("n=%d: sum=%d want %d", n, res.Sum, want)
+		}
+		if res.Aggregators != n || res.Participants != n {
+			t.Fatalf("topology %+v", res)
+		}
+		// All-to-all: messages grow quadratically.
+		if n > 1 && res.Messages < n*n {
+			t.Fatalf("n=%d messages=%d, expected at least n^2", n, res.Messages)
+		}
+	}
+}
+
+func TestSecureSumCloudAssisted(t *testing.T) {
+	parts, want := makeParticipants(100)
+	res, err := SecureSum(parts, CloudAssisted, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != want {
+		t.Fatalf("sum=%d want %d", res.Sum, want)
+	}
+	if res.Aggregators != 3 {
+		t.Fatalf("aggregators = %d", res.Aggregators)
+	}
+	// Linear message cost: ~n*m + m.
+	if res.Messages != 100*3+3 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	// Per-participant upload must not depend on n.
+	if res.BytesPerParticipant != float64(3*shareBytes) {
+		t.Fatalf("bytes per participant = %v", res.BytesPerParticipant)
+	}
+}
+
+func TestSecureSumScalability(t *testing.T) {
+	small, _ := makeParticipants(20)
+	large, _ := makeParticipants(200)
+	smcSmall, _ := SecureSum(small, PureSMC, 0)
+	smcLarge, _ := SecureSum(large, PureSMC, 0)
+	cloudSmall, _ := SecureSum(small, CloudAssisted, 3)
+	cloudLarge, _ := SecureSum(large, CloudAssisted, 3)
+	// The per-participant upload grows with n for pure SMC but stays flat for
+	// the cloud-assisted protocol — the asymmetry argument of the paper.
+	if smcLarge.BytesPerParticipant <= smcSmall.BytesPerParticipant {
+		t.Fatal("pure SMC upload should grow with n")
+	}
+	if cloudLarge.BytesPerParticipant != cloudSmall.BytesPerParticipant {
+		t.Fatal("cloud-assisted upload should be independent of n")
+	}
+}
+
+func TestSecureSumValidation(t *testing.T) {
+	if _, err := SecureSum(nil, PureSMC, 0); err != ErrNoParticipants {
+		t.Fatalf("no participants: %v", err)
+	}
+	parts, _ := makeParticipants(5)
+	if _, err := SecureSum(parts, CloudAssisted, 1); err != ErrBadAggregators {
+		t.Fatalf("1 aggregator: %v", err)
+	}
+	if _, err := SecureSum(parts, CloudAssisted, 6); err != ErrBadAggregators {
+		t.Fatalf("too many aggregators: %v", err)
+	}
+	if _, err := SecureSum(parts, Protocol(42), 0); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if PureSMC.String() != "pure-smc" || CloudAssisted.String() != "cloud-assisted" {
+		t.Fatal("protocol names wrong")
+	}
+}
+
+func TestSecureSumProperty(t *testing.T) {
+	f := func(values []uint16, mRaw uint8) bool {
+		if len(values) == 0 {
+			return true
+		}
+		if len(values) > 64 {
+			values = values[:64]
+		}
+		parts := make([]Participant, len(values))
+		var want uint64
+		for i, v := range values {
+			parts[i] = Participant{ID: fmt.Sprintf("p%d", i), Value: uint64(v)}
+			want += uint64(v)
+		}
+		smc, err := SecureSum(parts, PureSMC, 0)
+		if err != nil || smc.Sum != want {
+			return false
+		}
+		m := int(mRaw%3) + 2
+		if m > len(parts) {
+			m = len(parts)
+		}
+		if m >= 2 {
+			cloud, err := SecureSum(parts, CloudAssisted, m)
+			if err != nil || cloud.Sum != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeQuasiRecords(n int, seed int64) []QuasiRecord {
+	rng := rand.New(rand.NewSource(seed))
+	bands := []string{"18-30", "31-45", "46-60", "61-75", "76+"}
+	conditions := []string{"diabetes", "hypertension", "asthma", "none"}
+	out := make([]QuasiRecord, n)
+	for i := range out {
+		out[i] = QuasiRecord{
+			AgeBand:   bands[rng.Intn(len(bands))],
+			ZIP3:      fmt.Sprintf("%03d", 750+rng.Intn(20)),
+			Sensitive: conditions[rng.Intn(len(conditions))],
+		}
+	}
+	return out
+}
+
+func TestAnonymizeReachesK(t *testing.T) {
+	records := makeQuasiRecords(500, 1)
+	for _, k := range []int{2, 5, 10, 50} {
+		res, err := Anonymize(records, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.SmallestClass < k {
+			t.Fatalf("k=%d: smallest class %d", k, res.SmallestClass)
+		}
+		if len(res.Records) != len(records) {
+			t.Fatalf("k=%d: record count changed", k)
+		}
+		if res.InformationLoss < 0 || res.InformationLoss > 1 {
+			t.Fatalf("k=%d: information loss %v out of range", k, res.InformationLoss)
+		}
+		// Sensitive values must be untouched.
+		for i := range records {
+			if res.Records[i].Sensitive != records[i].Sensitive {
+				t.Fatalf("k=%d: sensitive value modified", k)
+			}
+		}
+	}
+}
+
+func TestAnonymizeLossGrowsWithK(t *testing.T) {
+	records := makeQuasiRecords(300, 2)
+	res2, _ := Anonymize(records, 2)
+	res50, _ := Anonymize(records, 50)
+	if res50.InformationLoss < res2.InformationLoss {
+		t.Fatalf("loss should not decrease with k: k=2 %.3f, k=50 %.3f",
+			res2.InformationLoss, res50.InformationLoss)
+	}
+}
+
+func TestAnonymizeSmallDatasetSuppresses(t *testing.T) {
+	records := makeQuasiRecords(3, 3)
+	res, err := Anonymize(records, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallestClass < 3 {
+		t.Fatalf("smallest class %d", res.SmallestClass)
+	}
+}
+
+func TestAnonymizeValidation(t *testing.T) {
+	if _, err := Anonymize(nil, 1); err != ErrBadK {
+		t.Fatalf("k=1: %v", err)
+	}
+	res, err := Anonymize(nil, 2)
+	if err != nil || len(res.Records) != 0 {
+		t.Fatalf("empty input: %+v %v", res, err)
+	}
+}
+
+func TestGeneralizeHelpers(t *testing.T) {
+	if generalizeZIP("757") != "75*" || generalizeZIP("75*") != "7**" || generalizeZIP("7**") != "*" || generalizeZIP("*") != "*" {
+		t.Fatal("zip generalization ladder wrong")
+	}
+	if generalizeAge("18-30") != "18-45" || generalizeAge("18-45") != "*" || generalizeAge("weird") != "*" {
+		t.Fatal("age generalization ladder wrong")
+	}
+}
+
+func TestLaplaceMechanism(t *testing.T) {
+	truth := map[string]int{"diabetes": 120, "asthma": 45, "none": 800}
+	rng := rand.New(rand.NewSource(5))
+	release, err := LaplaceMechanism(truth, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(release) != 3 {
+		t.Fatalf("release size %d", len(release))
+	}
+	for _, gc := range release {
+		if gc.Count < 0 {
+			t.Fatalf("negative released count %v", gc)
+		}
+	}
+	mae := MeanAbsoluteError(truth, release)
+	if mae <= 0 || mae > 50 {
+		t.Fatalf("implausible MAE %v for epsilon=1", mae)
+	}
+	if _, err := LaplaceMechanism(truth, 0, rng); err != ErrBadEpsilon {
+		t.Fatalf("epsilon=0: %v", err)
+	}
+	if _, err := LaplaceMechanism(truth, 1, nil); err != nil {
+		t.Fatalf("nil rng should default: %v", err)
+	}
+}
+
+func TestLaplaceErrorDecreasesWithEpsilon(t *testing.T) {
+	truth := map[string]int{}
+	for i := 0; i < 50; i++ {
+		truth[fmt.Sprintf("g%02d", i)] = 100 + i
+	}
+	mae := func(eps float64) float64 {
+		var total float64
+		const trials = 40
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			rel, err := LaplaceMechanism(truth, eps, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += MeanAbsoluteError(truth, rel)
+		}
+		return total / trials
+	}
+	loose := mae(0.1)
+	tight := mae(2.0)
+	if tight >= loose {
+		t.Fatalf("MAE should shrink as epsilon grows: eps=0.1 %.2f, eps=2 %.2f", loose, tight)
+	}
+	// Sanity check against theory: expected |Laplace(1/eps)| = 1/eps.
+	if math.Abs(tight-0.5) > 0.5 {
+		t.Fatalf("MAE at eps=2 = %.2f, expected around 0.5", tight)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	records := []QuasiRecord{
+		{Sensitive: "diabetes", AgeBand: "46-60"},
+		{Sensitive: "diabetes", AgeBand: "18-30"},
+		{Sensitive: "none", AgeBand: "18-30"},
+	}
+	h := HistogramFromSensitive(records)
+	if h["diabetes"] != 2 || h["none"] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	cross := CrossHistogram(records, func(r QuasiRecord) string { return r.AgeBand })
+	if cross["diabetes|46-60"] != 1 || cross["diabetes|18-30"] != 1 {
+		t.Fatalf("cross histogram %v", cross)
+	}
+}
+
+func BenchmarkSecureSumCloudAssisted1000(b *testing.B) {
+	parts, _ := makeParticipants(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SecureSum(parts, CloudAssisted, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnonymize1000K10(b *testing.B) {
+	records := makeQuasiRecords(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(records, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"trustedcells/internal/audit"
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+)
+
+// The usage-control challenges of the paper sketch a distinctive inter-cell
+// workflow: "trusted cells could be parameterized so that any personal data
+// produced by a trusted source linked to an individual A and referencing
+// individual B be submitted for approbation to B's trusted cell before being
+// integrated to A's digital space" (the photo-blurring scenario of the
+// introduction is the same mechanism). This file implements that approbation
+// protocol: A's cell sends an approval request describing the data to B's
+// cell through the cloud; B's owner (or an automatic policy on B's cell)
+// answers; A's cell refuses to integrate the data until the approval arrived.
+
+// Errors returned by the approval workflow.
+var (
+	ErrApprovalRequired = errors.New("core: referenced party has not approved this data")
+	ErrApprovalRejected = errors.New("core: referenced party rejected this data")
+	ErrUnknownApproval  = errors.New("core: unknown approval request")
+)
+
+// ApprovalStatus is the state of an approval request.
+type ApprovalStatus int
+
+// Approval states.
+const (
+	ApprovalPending ApprovalStatus = iota
+	ApprovalGranted
+	ApprovalRejected
+)
+
+// String names the status.
+func (s ApprovalStatus) String() string {
+	switch s {
+	case ApprovalPending:
+		return "pending"
+	case ApprovalGranted:
+		return "granted"
+	case ApprovalRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("approval(%d)", int(s))
+	}
+}
+
+// ApprovalRequest describes data referencing another individual, awaiting
+// that individual's approbation.
+type ApprovalRequest struct {
+	ID          string `json:"id"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Description string `json:"description"`
+	DocType     string `json:"doc_type"`
+	ContentHash string `json:"content_hash"`
+}
+
+// approvalResponse is the wire answer.
+type approvalResponse struct {
+	RequestID string `json:"request_id"`
+	Approved  bool   `json:"approved"`
+	Reason    string `json:"reason"`
+}
+
+// approvalKey derives the symmetric key protecting approval traffic between
+// the two paired cells.
+func approvalKey(pairing crypto.SymmetricKey, a, b string) crypto.SymmetricKey {
+	// Canonical ordering so both sides derive the same key.
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return crypto.DeriveKey(pairing, "approval", lo+"|"+hi)
+}
+
+// RequestApproval asks the referenced party's cell to approve data described
+// by (description, docType, contentHash) before it is integrated. The request
+// travels sealed under the pairing key. It returns the request ID to pass to
+// IngestReferencing later.
+func (c *Cell) RequestApproval(referencedParty, description, docType string, payload []byte) (string, error) {
+	if c.tee.Locked() {
+		return "", ErrNotOwner
+	}
+	if c.cloud == nil {
+		return "", ErrNoCloud
+	}
+	contentHash := crypto.HashString(payload)
+	req := ApprovalRequest{
+		ID:          "appr-" + crypto.HashString([]byte(c.id+referencedParty+contentHash))[:16],
+		From:        c.id,
+		To:          referencedParty,
+		Description: description,
+		DocType:     docType,
+		ContentHash: contentHash,
+	}
+	plain, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	var sealed []byte
+	err = c.pairingKey(referencedParty, func(pk crypto.SymmetricKey) error {
+		var serr error
+		sealed, serr = crypto.Seal(approvalKey(pk, c.id, referencedParty), plain, []byte("approval-request"))
+		return serr
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := c.cloud.Send(cloud.Message{From: c.id, To: referencedParty, Kind: "approval-request", Body: sealed}); err != nil {
+		return "", fmt.Errorf("core: approval request: %w", err)
+	}
+	c.mu.Lock()
+	if c.approvalStatus == nil {
+		c.approvalStatus = make(map[string]ApprovalStatus)
+	}
+	c.approvalStatus[req.ID] = ApprovalPending
+	if c.approvalHash == nil {
+		c.approvalHash = make(map[string]string)
+	}
+	c.approvalHash[req.ID] = contentHash
+	c.mu.Unlock()
+	c.appendAudit(c.id, "request-approval", req.ID, audit.OutcomeAllowed,
+		fmt.Sprintf("awaiting approbation from %s", referencedParty), referencedParty)
+	return req.ID, nil
+}
+
+// handleApprovalRequest processes an incoming approbation request on the
+// referenced party's cell.
+func (c *Cell) handleApprovalRequest(from string, body []byte) error {
+	var req ApprovalRequest
+	err := c.pairingKey(from, func(pk crypto.SymmetricKey) error {
+		plain, ad, oerr := crypto.Open(approvalKey(pk, from, c.id), body)
+		if oerr != nil {
+			return oerr
+		}
+		if string(ad) != "approval-request" {
+			return fmt.Errorf("core: unexpected approval envelope")
+		}
+		return json.Unmarshal(plain, &req)
+	})
+	if err != nil {
+		return err
+	}
+	if req.To != c.id {
+		return fmt.Errorf("core: approval request addressed to %s", req.To)
+	}
+	c.mu.Lock()
+	if c.incomingApprovals == nil {
+		c.incomingApprovals = make(map[string]ApprovalRequest)
+	}
+	c.incomingApprovals[req.ID] = req
+	c.mu.Unlock()
+	c.appendAudit(from, "approval-request", req.ID, audit.OutcomeAllowed, req.Description, "")
+	return nil
+}
+
+// PendingApprovals lists approbation requests awaiting this owner's decision.
+func (c *Cell) PendingApprovals() []ApprovalRequest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ApprovalRequest, 0, len(c.incomingApprovals))
+	for _, r := range c.incomingApprovals {
+		out = append(out, r)
+	}
+	return out
+}
+
+// RespondApproval answers an incoming approbation request (owner operation on
+// the referenced party's cell) and notifies the requesting cell.
+func (c *Cell) RespondApproval(requestID string, approve bool, reason string) error {
+	if c.tee.Locked() {
+		return ErrNotOwner
+	}
+	if c.cloud == nil {
+		return ErrNoCloud
+	}
+	c.mu.Lock()
+	req, ok := c.incomingApprovals[requestID]
+	if ok {
+		delete(c.incomingApprovals, requestID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ErrUnknownApproval
+	}
+	resp := approvalResponse{RequestID: requestID, Approved: approve, Reason: reason}
+	plain, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	var sealed []byte
+	err = c.pairingKey(req.From, func(pk crypto.SymmetricKey) error {
+		var serr error
+		sealed, serr = crypto.Seal(approvalKey(pk, c.id, req.From), plain, []byte("approval-response"))
+		return serr
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.cloud.Send(cloud.Message{From: c.id, To: req.From, Kind: "approval-response", Body: sealed}); err != nil {
+		return fmt.Errorf("core: approval response: %w", err)
+	}
+	outcome := audit.OutcomeAllowed
+	if !approve {
+		outcome = audit.OutcomeDenied
+	}
+	c.appendAudit(c.id, "respond-approval", requestID, outcome, reason, req.From)
+	return nil
+}
+
+// handleApprovalResponse records the referenced party's decision on the
+// requesting cell.
+func (c *Cell) handleApprovalResponse(from string, body []byte) error {
+	var resp approvalResponse
+	err := c.pairingKey(from, func(pk crypto.SymmetricKey) error {
+		plain, ad, oerr := crypto.Open(approvalKey(pk, from, c.id), body)
+		if oerr != nil {
+			return oerr
+		}
+		if string(ad) != "approval-response" {
+			return fmt.Errorf("core: unexpected approval envelope")
+		}
+		return json.Unmarshal(plain, &resp)
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.approvalStatus == nil {
+		c.approvalStatus = make(map[string]ApprovalStatus)
+	}
+	if _, known := c.approvalStatus[resp.RequestID]; !known {
+		c.mu.Unlock()
+		return ErrUnknownApproval
+	}
+	if resp.Approved {
+		c.approvalStatus[resp.RequestID] = ApprovalGranted
+	} else {
+		c.approvalStatus[resp.RequestID] = ApprovalRejected
+	}
+	c.mu.Unlock()
+	outcome := audit.OutcomeAllowed
+	if !resp.Approved {
+		outcome = audit.OutcomeDenied
+	}
+	c.appendAudit(from, "approval-response", resp.RequestID, outcome, resp.Reason, "")
+	return nil
+}
+
+// ApprovalStatusOf reports the current state of an outgoing approval request.
+func (c *Cell) ApprovalStatusOf(requestID string) (ApprovalStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.approvalStatus[requestID]
+	if !ok {
+		return ApprovalPending, ErrUnknownApproval
+	}
+	return st, nil
+}
+
+// IngestReferencing integrates data that references another individual. It
+// refuses to do so until that individual's cell granted the corresponding
+// approval request (matched by request ID and content hash).
+func (c *Cell) IngestReferencing(payload []byte, opts IngestOptions, approvalID string) (*datamodel.Document, error) {
+	c.mu.Lock()
+	status, known := c.approvalStatus[approvalID]
+	expectedHash := c.approvalHash[approvalID]
+	c.mu.Unlock()
+	if !known {
+		return nil, ErrUnknownApproval
+	}
+	if expectedHash != crypto.HashString(payload) {
+		return nil, fmt.Errorf("%w: payload differs from the approved content", ErrApprovalRequired)
+	}
+	switch status {
+	case ApprovalGranted:
+		return c.Ingest(payload, opts)
+	case ApprovalRejected:
+		return nil, ErrApprovalRejected
+	default:
+		return nil, ErrApprovalRequired
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/datamodel"
+)
+
+// setupApprovalPeers returns Alice's and Bob's paired cells on a shared cloud.
+func setupApprovalPeers(t *testing.T) (*Cell, *Cell) {
+	t.Helper()
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-phone", svc)
+	bob := newTestCell(t, "bob-phone", svc)
+	pairCells(t, alice, bob)
+	return alice, bob
+}
+
+func TestApprovalGrantedFlow(t *testing.T) {
+	alice, bob := setupApprovalPeers(t)
+	photo := []byte("group photo with Bob in the frame")
+
+	// Alice's camera cell asks Bob's cell before integrating the photo.
+	reqID, err := alice.RequestApproval("bob-phone", "photo taken at the park, Bob in frame", "photo", photo)
+	if err != nil {
+		t.Fatalf("RequestApproval: %v", err)
+	}
+	if st, _ := alice.ApprovalStatusOf(reqID); st != ApprovalPending {
+		t.Fatalf("status = %v", st)
+	}
+	// Cannot integrate before Bob answers.
+	if _, err := alice.IngestReferencing(photo, IngestOptions{Type: "photo", Class: datamodel.ClassAuthored}, reqID); !errors.Is(err, ErrApprovalRequired) {
+		t.Fatalf("ingest before approval: %v", err)
+	}
+
+	// Bob receives the request and approves it.
+	sum, err := bob.ProcessInbox()
+	if err != nil || sum.ApprovalRequests != 1 {
+		t.Fatalf("bob inbox: %+v %v", sum, err)
+	}
+	pending := bob.PendingApprovals()
+	if len(pending) != 1 || pending[0].From != "alice-phone" || pending[0].DocType != "photo" {
+		t.Fatalf("pending approvals %+v", pending)
+	}
+	if err := bob.RespondApproval(pending[0].ID, true, "fine by me"); err != nil {
+		t.Fatalf("RespondApproval: %v", err)
+	}
+
+	// Alice learns of the decision and can now integrate the photo.
+	sum, err = alice.ProcessInbox()
+	if err != nil || sum.ApprovalResponses != 1 {
+		t.Fatalf("alice inbox: %+v %v", sum, err)
+	}
+	if st, _ := alice.ApprovalStatusOf(reqID); st != ApprovalGranted {
+		t.Fatalf("status after grant = %v", st)
+	}
+	doc, err := alice.IngestReferencing(photo, IngestOptions{Type: "photo", Class: datamodel.ClassAuthored, Title: "park"}, reqID)
+	if err != nil {
+		t.Fatalf("IngestReferencing: %v", err)
+	}
+	if doc.Owner != "alice-phone" {
+		t.Fatalf("doc %+v", doc)
+	}
+}
+
+func TestApprovalRejectedFlow(t *testing.T) {
+	alice, bob := setupApprovalPeers(t)
+	payload := []byte("embarrassing karaoke video")
+	reqID, err := alice.RequestApproval("bob-phone", "karaoke video", "video", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.ProcessInbox(); err != nil {
+		t.Fatal(err)
+	}
+	pending := bob.PendingApprovals()
+	if err := bob.RespondApproval(pending[0].ID, false, "please delete this"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.ProcessInbox(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := alice.ApprovalStatusOf(reqID); st != ApprovalRejected {
+		t.Fatalf("status = %v", st)
+	}
+	if _, err := alice.IngestReferencing(payload, IngestOptions{Type: "video", Class: datamodel.ClassAuthored}, reqID); !errors.Is(err, ErrApprovalRejected) {
+		t.Fatalf("ingest after rejection: %v", err)
+	}
+	if ApprovalRejected.String() != "rejected" || ApprovalGranted.String() != "granted" || ApprovalPending.String() != "pending" {
+		t.Fatal("approval status names wrong")
+	}
+}
+
+func TestApprovalPayloadSubstitutionBlocked(t *testing.T) {
+	alice, bob := setupApprovalPeers(t)
+	approved := []byte("innocent photo")
+	reqID, _ := alice.RequestApproval("bob-phone", "photo", "photo", approved)
+	_, _ = bob.ProcessInbox()
+	pending := bob.PendingApprovals()
+	_ = bob.RespondApproval(pending[0].ID, true, "ok")
+	_, _ = alice.ProcessInbox()
+	// Alice tries to integrate a different payload under the same approval.
+	if _, err := alice.IngestReferencing([]byte("different content"), IngestOptions{Type: "photo", Class: datamodel.ClassAuthored}, reqID); !errors.Is(err, ErrApprovalRequired) {
+		t.Fatalf("substituted payload accepted: %v", err)
+	}
+}
+
+func TestApprovalErrorsAndGuards(t *testing.T) {
+	alice, bob := setupApprovalPeers(t)
+	// Unknown request IDs.
+	if _, err := alice.ApprovalStatusOf("nope"); !errors.Is(err, ErrUnknownApproval) {
+		t.Fatalf("ApprovalStatusOf: %v", err)
+	}
+	if err := bob.RespondApproval("nope", true, ""); !errors.Is(err, ErrUnknownApproval) {
+		t.Fatalf("RespondApproval unknown: %v", err)
+	}
+	if _, err := alice.IngestReferencing([]byte("x"), IngestOptions{Type: "t", Class: datamodel.ClassAuthored}, "nope"); !errors.Is(err, ErrUnknownApproval) {
+		t.Fatalf("IngestReferencing unknown: %v", err)
+	}
+	// Requests to unpaired parties fail.
+	if _, err := alice.RequestApproval("stranger", "d", "t", []byte("x")); !errors.Is(err, ErrNotPaired) {
+		t.Fatalf("RequestApproval unpaired: %v", err)
+	}
+	// Owner operations require an unlocked TEE.
+	alice.TEE().Lock()
+	if _, err := alice.RequestApproval("bob-phone", "d", "t", []byte("x")); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("RequestApproval locked: %v", err)
+	}
+	if err := alice.RespondApproval("id", true, ""); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("RespondApproval locked: %v", err)
+	}
+}

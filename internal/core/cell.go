@@ -1,0 +1,558 @@
+// Package core implements the trusted cell itself: a personal data server
+// acting as a client-side reference monitor on top of simulated secure
+// hardware. It combines the substrates — TEE, embedded storage, metadata
+// catalog, access-control policies, usage control, audit — and the untrusted
+// cloud into the six capabilities the paper lists for a full-fledged trusted
+// cell: (1) acquire and synchronize data, (2) extract and query metadata,
+// (3) cryptographically protect data, (4) enforce access and usage control,
+// (5) make all actions accountable, (6) participate in distributed
+// computations.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustedcells/internal/audit"
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/storage"
+	"trustedcells/internal/tamper"
+	"trustedcells/internal/timeseries"
+	"trustedcells/internal/ucon"
+)
+
+// Errors returned by the cell.
+var (
+	ErrAccessDenied    = errors.New("core: access denied")
+	ErrIntegrity       = errors.New("core: integrity verification failed")
+	ErrNotOwner        = errors.New("core: operation reserved to the authenticated owner")
+	ErrUnknownDocument = errors.New("core: unknown document")
+	ErrGranularity     = errors.New("core: requested granularity finer than the policy allows")
+	ErrNotSeries       = errors.New("core: document is not a time series")
+)
+
+// SeriesDocType is the document type used for time-series payloads; aggregate
+// queries are only valid on documents of this type.
+const SeriesDocType = "power-series"
+
+// Config describes a new cell.
+type Config struct {
+	// ID is the cell identifier (also the cloud namespace prefix).
+	ID string
+	// Class selects the hardware profile.
+	Class tamper.HardwareClass
+	// PIN protects owner operations.
+	PIN string
+	// Cloud is the untrusted infrastructure the cell uses. It may be nil for
+	// a fully disconnected cell (e.g. a sensor-side cell).
+	Cloud cloud.Service
+	// Seed, when non-empty, provisions the TEE deterministically (used by the
+	// simulator for reproducible populations).
+	Seed []byte
+	// Clock overrides time.Now (simulations).
+	Clock func() time.Time
+	// CacheBytes bounds the local encrypted cache memtable; zero selects a
+	// default adapted to the hardware class.
+	CacheBytes int
+}
+
+// Cell is a trusted cell: the user's personal data server.
+type Cell struct {
+	mu sync.Mutex
+
+	id      string
+	tee     *tamper.TEE
+	keys    *crypto.KeyHierarchy
+	catalog *datamodel.Catalog
+	cache   *storage.KV
+	access  *policy.Set
+	usage   *ucon.Monitor
+	log     *audit.Log
+	cloud   cloud.Service
+	clock   func() time.Time
+
+	// trustedIssuers are the credential issuers this cell accepts.
+	trustedIssuers map[string]crypto.VerifyKey
+	// pairings are shared secrets with peer cells, sealed in the TEE and
+	// referenced here by peer ID.
+	pairings map[string]bool
+	// remoteDocs tracks documents received from other cells: docID ->
+	// originator ID, plus the sticky policy that travels with them.
+	remoteDocs map[string]*policy.StickyPolicy
+	// approvalStatus / approvalHash track outgoing approbation requests
+	// (IngestReferencing); incomingApprovals holds requests awaiting this
+	// owner's decision.
+	approvalStatus    map[string]ApprovalStatus
+	approvalHash      map[string]string
+	incomingApprovals map[string]ApprovalRequest
+}
+
+// New creates, provisions and unlocks a cell.
+func New(cfg Config) (*Cell, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("core: cell requires an ID")
+	}
+	if cfg.PIN == "" {
+		cfg.PIN = "0000"
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	profile := tamper.DefaultProfile(cfg.Class)
+	tee := tamper.New(profile)
+	var err error
+	if len(cfg.Seed) > 0 {
+		err = tee.ProvisionDeterministic(cfg.Seed, cfg.PIN)
+	} else {
+		err = tee.Provision(cfg.PIN)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: provisioning %s: %w", cfg.ID, err)
+	}
+	if err := tee.Unlock(cfg.PIN); err != nil {
+		return nil, fmt.Errorf("core: unlocking %s: %w", cfg.ID, err)
+	}
+	keys, err := tee.KeyHierarchy()
+	if err != nil {
+		return nil, fmt.Errorf("core: key hierarchy: %w", err)
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = profile.RAMBudget / 4
+		if cacheBytes > 1<<20 {
+			cacheBytes = 1 << 20
+		}
+	}
+	dev := storage.NewMeteredDevice(storage.NewMemDevice(0), tee.Meter())
+	cell := &Cell{
+		id:             cfg.ID,
+		tee:            tee,
+		keys:           keys,
+		catalog:        datamodel.NewCatalog(),
+		cache:          storage.NewKV(dev, storage.Options{MemtableBytes: cacheBytes, MaxRuns: 8}),
+		access:         policy.NewSet(cfg.ID),
+		usage:          ucon.NewMonitor(),
+		log:            audit.NewLog(),
+		cloud:          cfg.Cloud,
+		clock:          clock,
+		trustedIssuers: make(map[string]crypto.VerifyKey),
+		pairings:       make(map[string]bool),
+		remoteDocs:     make(map[string]*policy.StickyPolicy),
+	}
+	return cell, nil
+}
+
+// ID returns the cell identifier.
+func (c *Cell) ID() string { return c.id }
+
+// Identity returns the cell's attestation public key.
+func (c *Cell) Identity() (crypto.VerifyKey, error) { return c.tee.Identity() }
+
+// TEE exposes the underlying secure hardware (for attestation, cost metering
+// and lock/unlock flows).
+func (c *Cell) TEE() *tamper.TEE { return c.tee }
+
+// Clock returns the cell's current time.
+func (c *Cell) Clock() time.Time { return c.clock() }
+
+// AuditLog returns the cell's audit log.
+func (c *Cell) AuditLog() *audit.Log { return c.log }
+
+// Catalog returns the metadata catalog (owner-side use and tests).
+func (c *Cell) Catalog() *datamodel.Catalog { return c.catalog }
+
+// AccessPolicy returns the cell's access-control policy set.
+func (c *Cell) AccessPolicy() *policy.Set { return c.access }
+
+// Usage returns the usage-control monitor.
+func (c *Cell) Usage() *ucon.Monitor { return c.usage }
+
+// CloudService returns the attached infrastructure service (may be nil).
+func (c *Cell) CloudService() cloud.Service { return c.cloud }
+
+// TrustIssuer registers a credential issuer the cell accepts.
+func (c *Cell) TrustIssuer(id string, key crypto.VerifyKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trustedIssuers[id] = key
+}
+
+// TrustedIssuers returns a copy of the trusted issuer registry.
+func (c *Cell) TrustedIssuers() map[string]crypto.VerifyKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]crypto.VerifyKey, len(c.trustedIssuers))
+	for k, v := range c.trustedIssuers {
+		out[k] = v
+	}
+	return out
+}
+
+// AddRule appends an access-control rule (owner operation).
+func (c *Cell) AddRule(r policy.Rule) error {
+	if c.tee.Locked() {
+		return ErrNotOwner
+	}
+	return c.access.Add(r)
+}
+
+// AttachUsagePolicy attaches a usage-control policy (owner operation).
+func (c *Cell) AttachUsagePolicy(p ucon.Policy) error {
+	if c.tee.Locked() {
+		return ErrNotOwner
+	}
+	return c.usage.Attach(p)
+}
+
+// blobName is the cloud name of a document payload.
+func (c *Cell) blobName(docID string) string {
+	return c.id + "/vault/" + docID
+}
+
+// associatedData binds a sealed payload to its owner and document.
+func associatedData(owner, docID string) []byte {
+	return []byte("doc:" + owner + ":" + docID)
+}
+
+// IngestOptions describe a document being ingested into the cell.
+type IngestOptions struct {
+	Class    datamodel.DataClass
+	Type     string
+	Title    string
+	Keywords []string
+	Tags     map[string]string
+}
+
+// Ingest acquires a payload into the personal data space: the payload is
+// sealed under a per-document key, the ciphertext is cached locally and
+// pushed to the cloud vault, and the metadata is indexed in the catalog.
+// Ingest is an owner operation.
+func (c *Cell) Ingest(payload []byte, opts IngestOptions) (*datamodel.Document, error) {
+	if c.tee.Locked() {
+		return nil, ErrNotOwner
+	}
+	contentHash := crypto.HashString(payload)
+	doc := &datamodel.Document{
+		ID:          datamodel.NewDocumentID(c.id, opts.Type, contentHash),
+		Owner:       c.id,
+		Class:       opts.Class,
+		Type:        opts.Type,
+		Title:       opts.Title,
+		Keywords:    opts.Keywords,
+		Tags:        opts.Tags,
+		CreatedAt:   c.clock(),
+		Size:        int64(len(payload)),
+		ContentHash: contentHash,
+	}
+	key := c.keys.DocumentKey(doc.ID)
+	doc.KeyFingerprint = key.Fingerprint()
+	sealed, err := crypto.Seal(key, payload, associatedData(c.id, doc.ID))
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest: %w", err)
+	}
+	doc.BlobRef = c.blobName(doc.ID)
+	if c.cloud != nil {
+		if _, err := c.cloud.PutBlob(doc.BlobRef, sealed); err != nil {
+			return nil, fmt.Errorf("core: ingest: cloud put: %w", err)
+		}
+	}
+	if err := c.cache.Put([]byte("payload/"+doc.ID), sealed); err != nil {
+		return nil, fmt.Errorf("core: ingest: cache: %w", err)
+	}
+	if err := c.catalog.Add(doc); err != nil {
+		return nil, fmt.Errorf("core: ingest: catalog: %w", err)
+	}
+	c.appendAudit(c.id, "ingest", doc.ID, audit.OutcomeAllowed, "owner ingest", "")
+	return doc.Clone(), nil
+}
+
+// IngestSeries serialises a time series and ingests it as a SeriesDocType
+// document.
+func (c *Cell) IngestSeries(s *timeseries.Series, title string, keywords []string, tags map[string]string) (*datamodel.Document, error) {
+	payload, err := encodeSeries(s)
+	if err != nil {
+		return nil, err
+	}
+	return c.Ingest(payload, IngestOptions{
+		Class:    datamodel.ClassSensed,
+		Type:     SeriesDocType,
+		Title:    title,
+		Keywords: keywords,
+		Tags:     tags,
+	})
+}
+
+// seriesPayload is the JSON encoding of a series document payload.
+type seriesPayload struct {
+	Name   string             `json:"name"`
+	Unit   string             `json:"unit"`
+	Points []timeseries.Point `json:"points"`
+}
+
+func encodeSeries(s *timeseries.Series) ([]byte, error) {
+	return json.Marshal(seriesPayload{Name: s.Name(), Unit: s.Unit(), Points: s.Points()})
+}
+
+func decodeSeries(data []byte) (*timeseries.Series, error) {
+	var p seriesPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotSeries, err)
+	}
+	s := timeseries.NewSeries(p.Name, p.Unit)
+	for _, pt := range p.Points {
+		if err := s.Append(pt); err != nil {
+			return nil, fmt.Errorf("core: decode series: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// fetchSealed returns the sealed payload of a document, preferring the local
+// cache and falling back to the cloud.
+func (c *Cell) fetchSealed(doc *datamodel.Document) ([]byte, error) {
+	if sealed, err := c.cache.Get([]byte("payload/" + doc.ID)); err == nil {
+		return sealed, nil
+	}
+	if c.cloud == nil {
+		return nil, fmt.Errorf("core: payload of %s unavailable: no cloud and no cache", doc.ID)
+	}
+	blob, err := c.cloud.GetBlob(doc.BlobRef)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching %s: %w", doc.ID, err)
+	}
+	return blob.Data, nil
+}
+
+// openDocument decrypts and integrity-checks a document payload.
+func (c *Cell) openDocument(doc *datamodel.Document, key crypto.SymmetricKey, owner string) ([]byte, error) {
+	sealed, err := c.fetchSealed(doc)
+	if err != nil {
+		return nil, err
+	}
+	plain, ad, err := crypto.Open(key, sealed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: envelope of %s", ErrIntegrity, doc.ID)
+	}
+	if string(ad) != string(associatedData(owner, doc.ID)) {
+		return nil, fmt.Errorf("%w: associated data of %s", ErrIntegrity, doc.ID)
+	}
+	if doc.ContentHash != "" && crypto.HashString(plain) != doc.ContentHash {
+		return nil, fmt.Errorf("%w: content hash of %s", ErrIntegrity, doc.ID)
+	}
+	return plain, nil
+}
+
+// AccessContext carries the requester-side context of a read request.
+type AccessContext struct {
+	Location string
+	Purpose  string
+	// Credentials are presented by the requester; only those verifying
+	// against the cell's trusted issuers contribute attributes.
+	Credentials []*policy.Credential
+	// Groups declared by the owner for this subject (e.g. "household").
+	Groups []string
+	// FulfilledObligations lists pre-obligations the requester has fulfilled.
+	FulfilledObligations []ucon.ObligationKind
+}
+
+func (c *Cell) subject(subjectID string, ctx AccessContext) policy.Subject {
+	return policy.SubjectFromCredentials(subjectID, ctx.Groups, ctx.Credentials, c.clock(), c.TrustedIssuers())
+}
+
+func (c *Cell) appendAudit(actor, action, resource string, outcome audit.Outcome, reason, originator string) {
+	c.log.Append(audit.Record{
+		Time:       c.clock(),
+		Actor:      actor,
+		Action:     action,
+		Resource:   resource,
+		Outcome:    outcome,
+		Reason:     reason,
+		Originator: originator,
+	})
+}
+
+// Read returns the plaintext payload of a document if the access-control
+// policy and the usage-control monitor both allow it. Every attempt is
+// audited.
+func (c *Cell) Read(subjectID, docID string, ctx AccessContext) ([]byte, error) {
+	doc, err := c.catalog.Get(docID)
+	if err != nil {
+		c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, "unknown document", "")
+		return nil, ErrUnknownDocument
+	}
+	subj := c.subject(subjectID, ctx)
+	req := policy.Request{
+		Subject: subj,
+		Action:  policy.ActionRead,
+		Resource: policy.Resource{
+			DocumentID: doc.ID, Type: doc.Type, Class: doc.Class.String(), Tags: doc.Tags,
+		},
+		Context: policy.Context{Time: c.clock(), Location: ctx.Location, Purpose: ctx.Purpose},
+	}
+	decision := c.access.Evaluate(req)
+	originator := c.originatorOf(docID)
+	if !decision.Allowed {
+		c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeDenied, decision.Reason, originator)
+		return nil, fmt.Errorf("%w: %s", ErrAccessDenied, decision.Reason)
+	}
+	// Usage control (sessions opened only when a usage policy is attached).
+	var session *ucon.Session
+	if len(c.usage.Policies(docID)) > 0 {
+		session, err = c.usage.TryAccess(ucon.Request{
+			ObjectID:     docID,
+			SubjectID:    subjectID,
+			Attributes:   subj.Attributes,
+			Now:          c.clock(),
+			FulfilledPre: ctx.FulfilledObligations,
+		})
+		if err != nil {
+			c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeDenied, err.Error(), originator)
+			return nil, fmt.Errorf("%w: %v", ErrAccessDenied, err)
+		}
+	}
+	key := c.keys.DocumentKey(docID)
+	owner := c.id
+	if sticky, ok := c.remoteDocs[docID]; ok {
+		owner = sticky.OriginatorID
+		var kerr error
+		key, kerr = c.remoteKey(docID)
+		if kerr != nil {
+			c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, kerr.Error(), originator)
+			return nil, kerr
+		}
+	}
+	plain, err := c.openDocument(doc, key, owner)
+	if err != nil {
+		c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, err.Error(), originator)
+		return nil, err
+	}
+	if session != nil {
+		// Fulfil the notify-owner obligation by exporting an audit segment to
+		// the originator mailbox, then close the session.
+		pending, _ := c.usage.PendingObligations(session.ID)
+		for _, ob := range pending {
+			if ob == ucon.ObligationNotifyOwner {
+				if err := c.notifyOriginator(docID, subjectID); err == nil {
+					_ = c.usage.FulfillObligation(session.ID, ucon.ObligationNotifyOwner)
+				}
+			}
+		}
+		if err := c.usage.EndAccess(session.ID); err != nil {
+			c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, err.Error(), originator)
+			return nil, fmt.Errorf("%w: %v", ErrAccessDenied, err)
+		}
+	}
+	c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeAllowed, decision.Reason+" rule="+decision.RuleID, originator)
+	return plain, nil
+}
+
+// Aggregate evaluates an aggregate query over a time-series document at the
+// requested granularity. The policy's MaxGranularity cap is enforced: a
+// requester entitled to 15-minute aggregates cannot obtain 1-second data.
+func (c *Cell) Aggregate(subjectID, docID string, g timeseries.Granularity, kind timeseries.AggregateKind, ctx AccessContext) (*timeseries.Series, error) {
+	doc, err := c.catalog.Get(docID)
+	if err != nil {
+		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeError, "unknown document", "")
+		return nil, ErrUnknownDocument
+	}
+	if doc.Type != SeriesDocType {
+		return nil, ErrNotSeries
+	}
+	subj := c.subject(subjectID, ctx)
+	req := policy.Request{
+		Subject: subj,
+		Action:  policy.ActionAggregate,
+		Resource: policy.Resource{
+			DocumentID: doc.ID, Type: doc.Type, Class: doc.Class.String(), Tags: doc.Tags,
+		},
+		Context: policy.Context{Time: c.clock(), Location: ctx.Location, Purpose: ctx.Purpose},
+	}
+	decision := c.access.Evaluate(req)
+	originator := c.originatorOf(docID)
+	if !decision.Allowed {
+		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeDenied, decision.Reason, originator)
+		return nil, fmt.Errorf("%w: %s", ErrAccessDenied, decision.Reason)
+	}
+	if decision.MaxGranularity > 0 && time.Duration(g) < decision.MaxGranularity {
+		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeDenied,
+			fmt.Sprintf("requested %v finer than allowed %v", time.Duration(g), decision.MaxGranularity), originator)
+		return nil, ErrGranularity
+	}
+	key := c.keys.DocumentKey(docID)
+	plain, err := c.openDocument(doc, key, c.id)
+	if err != nil {
+		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeError, err.Error(), originator)
+		return nil, err
+	}
+	series, err := decodeSeries(plain)
+	if err != nil {
+		return nil, err
+	}
+	out, err := series.DownsampleSeries(g, kind)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate: %w", err)
+	}
+	c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeAllowed,
+		fmt.Sprintf("granularity=%v rule=%s", time.Duration(g), decision.RuleID), originator)
+	return out, nil
+}
+
+// Search runs a metadata query over the catalog. Searching is an owner
+// operation: the catalog itself never leaves the cell.
+func (c *Cell) Search(q datamodel.Query) ([]*datamodel.Document, error) {
+	if c.tee.Locked() {
+		return nil, ErrNotOwner
+	}
+	return c.catalog.Search(q), nil
+}
+
+// notifyOriginator pushes the audit records concerning docID to the
+// originator cell's mailbox, sealed under the pairing key.
+func (c *Cell) notifyOriginator(docID, subjectID string) error {
+	sticky, ok := c.remoteDocs[docID]
+	if !ok || c.cloud == nil {
+		return fmt.Errorf("core: no originator to notify for %s", docID)
+	}
+	// Record the access being notified before exporting.
+	c.appendAudit(subjectID, "notify-originator", docID, audit.OutcomeAllowed, "usage obligation", sticky.OriginatorID)
+	var body []byte
+	err := c.pairingKey(sticky.OriginatorID, func(pk crypto.SymmetricKey) error {
+		segKey := crypto.DeriveKey(pk, "audit-segment", c.id+"->"+sticky.OriginatorID)
+		seg, err := c.log.Export(sticky.OriginatorID, segKey)
+		if err != nil {
+			return err
+		}
+		body, err = json.Marshal(seg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return c.cloud.Send(cloud.Message{
+		From: c.id,
+		To:   sticky.OriginatorID,
+		Kind: "audit-segment",
+		Body: body,
+	})
+}
+
+// originatorOf returns the originator cell ID for shared documents.
+func (c *Cell) originatorOf(docID string) string {
+	if sticky, ok := c.remoteDocs[docID]; ok {
+		return sticky.OriginatorID
+	}
+	return ""
+}
+
+// CacheStats exposes the embedded engine statistics (experiments E2).
+func (c *Cell) CacheStats() storage.Stats { return c.cache.Stats() }
+
+// VerifyCache re-checks the integrity of the local encrypted cache.
+func (c *Cell) VerifyCache() error { return c.cache.VerifyRuns() }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"trustedcells/internal/audit"
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/tamper"
+)
+
+// pairCells installs a fresh pairing secret on both cells.
+func pairCells(t *testing.T, a, b *Cell) {
+	t.Helper()
+	secret, err := NewPairingSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Pair(b.ID(), secret); err != nil {
+		t.Fatalf("Pair %s->%s: %v", a.ID(), b.ID(), err)
+	}
+	if err := b.Pair(a.ID(), secret); err != nil {
+		t.Fatalf("Pair %s->%s: %v", b.ID(), a.ID(), err)
+	}
+}
+
+func TestShareEndToEnd(t *testing.T) {
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-gw", svc)
+	bob := newTestCell(t, "bob-phone", svc)
+	pairCells(t, alice, bob)
+
+	payload := []byte("holiday photo (3 MB of pixels, abridged)")
+	doc, err := alice.Ingest(payload, IngestOptions{Type: "photo", Class: datamodel.ClassAuthored,
+		Title: "Holiday photo", Keywords: []string{"holiday"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = alice.Share(doc.ID, "bob-phone", ShareOptions{
+		MaxUses:     2,
+		NotAfter:    testTime.Add(30 * 24 * time.Hour),
+		NotifyOwner: true,
+	})
+	if err != nil {
+		t.Fatalf("Share: %v", err)
+	}
+	summary, err := bob.ProcessInbox()
+	if err != nil {
+		t.Fatalf("ProcessInbox: %v", err)
+	}
+	if summary.OffersAccepted != 1 || summary.OffersRejected != 0 {
+		t.Fatalf("inbox summary %+v", summary)
+	}
+	if got := bob.SharedWithMe(); len(got) != 1 || got[0] != doc.ID {
+		t.Fatalf("SharedWithMe = %v", got)
+	}
+	// Bob (the recipient cell's owner) reads the shared document; the sticky
+	// policy installed the allow rule for subject "bob-phone".
+	got, err := bob.Read("bob-phone", doc.ID, AccessContext{})
+	if err != nil {
+		t.Fatalf("Read shared: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shared payload differs")
+	}
+	// Carol, unknown to the sticky policy, is denied on Bob's cell.
+	if _, err := bob.Read("carol", doc.ID, AccessContext{}); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("carol read on recipient cell: %v", err)
+	}
+	// Second read allowed, third exhausts MaxUses=2.
+	if _, err := bob.Read("bob-phone", doc.ID, AccessContext{}); err != nil {
+		t.Fatalf("second read: %v", err)
+	}
+	if _, err := bob.Read("bob-phone", doc.ID, AccessContext{}); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("third read should be denied: %v", err)
+	}
+	// Accountability: Alice receives audit segments describing Bob's usage.
+	aliceSummary, err := alice.ProcessInbox()
+	if err != nil {
+		t.Fatalf("alice ProcessInbox: %v", err)
+	}
+	if aliceSummary.AuditSegments == 0 || len(aliceSummary.AuditRecords) == 0 {
+		t.Fatalf("no accountability records reached the originator: %+v", aliceSummary)
+	}
+	foundRead := false
+	for _, r := range aliceSummary.AuditRecords {
+		if r.Resource == doc.ID && r.Outcome == audit.OutcomeAllowed {
+			foundRead = true
+		}
+	}
+	if !foundRead {
+		t.Fatal("audit segment does not mention the shared document access")
+	}
+}
+
+func TestShareRequiresPairingAndCloud(t *testing.T) {
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-gw", svc)
+	doc, _ := alice.Ingest([]byte("x"), IngestOptions{Type: "note", Class: datamodel.ClassAuthored})
+	if err := alice.Share(doc.ID, "bob-phone", ShareOptions{}); !errors.Is(err, ErrNotPaired) {
+		t.Fatalf("share without pairing: %v", err)
+	}
+	if err := alice.Share("missing-doc", "bob-phone", ShareOptions{}); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("share of unknown doc: %v", err)
+	}
+	offline, _ := New(Config{ID: "offline", Class: tamper.ClassSecureToken, Seed: []byte("s"), Clock: fixedClock()})
+	if err := offline.Share("any", "peer", ShareOptions{}); !errors.Is(err, ErrNoCloud) {
+		t.Fatalf("share without cloud: %v", err)
+	}
+	if _, err := offline.ProcessInbox(); !errors.Is(err, ErrNoCloud) {
+		t.Fatalf("inbox without cloud: %v", err)
+	}
+	alice.TEE().Lock()
+	if err := alice.Share(doc.ID, "bob-phone", ShareOptions{}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("share while locked: %v", err)
+	}
+}
+
+func TestShareDenyRuleBlocksSharing(t *testing.T) {
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-gw", svc)
+	bob := newTestCell(t, "bob-phone", svc)
+	pairCells(t, alice, bob)
+	doc, _ := alice.Ingest([]byte("raw 1Hz feed"), IngestOptions{Type: SeriesDocType,
+		Class: datamodel.ClassSensed, Tags: map[string]string{"raw": "true"}})
+	_ = alice.AddRule(policy.Rule{ID: "never-share-raw", Effect: policy.EffectDeny,
+		Actions:  []policy.Action{policy.ActionShare},
+		Resource: policy.Resource{Tags: map[string]string{"raw": "true"}}})
+	if err := alice.Share(doc.ID, "bob-phone", ShareOptions{}); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("deny rule did not block sharing: %v", err)
+	}
+}
+
+func TestTamperedOfferRejected(t *testing.T) {
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-gw", svc)
+	bob := newTestCell(t, "bob-phone", svc)
+	pairCells(t, alice, bob)
+	doc, _ := alice.Ingest([]byte("payload"), IngestOptions{Type: "photo", Class: datamodel.ClassAuthored})
+	if err := alice.Share(doc.ID, "bob-phone", ShareOptions{MaxUses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A malicious cloud rewrites the offer body (e.g. to weaken MaxUses).
+	msgs, _ := svc.Receive("bob-phone", 0)
+	if len(msgs) != 1 {
+		t.Fatalf("expected 1 offer in mailbox, got %d", len(msgs))
+	}
+	tampered := bytes.Replace(msgs[0].Body, []byte(`"max_uses":1`), []byte(`"max_uses":100000`), 1)
+	if bytes.Equal(tampered, msgs[0].Body) {
+		t.Fatal("test setup: max_uses field not found in offer body")
+	}
+	msgs[0].Body = tampered
+	if err := svc.Send(msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := bob.ProcessInbox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.OffersAccepted != 0 || summary.OffersRejected != 1 {
+		t.Fatalf("tampered offer was accepted: %+v", summary)
+	}
+}
+
+func TestOfferFromUnpairedCellRejected(t *testing.T) {
+	svc := cloud.NewMemory()
+	alice := newTestCell(t, "alice-gw", svc)
+	bob := newTestCell(t, "bob-phone", svc)
+	// Only Alice pairs (Bob never did): bob must reject.
+	secret, _ := NewPairingSecret()
+	_ = alice.Pair("bob-phone", secret)
+	doc, _ := alice.Ingest([]byte("x"), IngestOptions{Type: "note", Class: datamodel.ClassAuthored})
+	if err := alice.Share(doc.ID, "bob-phone", ShareOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	summary, _ := bob.ProcessInbox()
+	if summary.OffersAccepted != 0 || summary.OffersRejected != 1 {
+		t.Fatalf("offer from unpaired cell accepted: %+v", summary)
+	}
+}
+
+func TestUnknownInboxMessageKind(t *testing.T) {
+	svc := cloud.NewMemory()
+	bob := newTestCell(t, "bob-phone", svc)
+	_ = svc.Send(cloud.Message{From: "x", To: "bob-phone", Kind: "mystery", Body: []byte("?")})
+	summary, err := bob.ProcessInbox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.OffersAccepted != 0 && summary.OffersRejected != 0 {
+		t.Fatalf("unexpected summary %+v", summary)
+	}
+	if len(bob.AuditLog().Query("x", "mystery", audit.OutcomeError)) != 1 {
+		t.Fatal("unknown message kind not audited")
+	}
+}

@@ -1,0 +1,114 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Envelope is an authenticated-encryption container. The trusted cell stores
+// every piece of data that leaves the tamper-resistant boundary (cloud blobs,
+// cached payloads, audit records) inside an envelope.
+//
+// Layout of the sealed byte slice:
+//
+//	[1]  version
+//	[12] nonce
+//	[4]  associated-data length
+//	[n]  associated data (in clear, authenticated)
+//	[..] AES-256-GCM ciphertext (includes the 16-byte tag)
+//
+// Associated data typically carries the owner, document identifier and schema
+// version so that the cloud cannot splice ciphertexts across documents.
+const envelopeVersion = 1
+
+const gcmNonceSize = 12
+
+// Seal encrypts plaintext under key, binding the associated data.
+func Seal(key SymmetricKey, plaintext, associated []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: seal: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: seal: %w", err)
+	}
+	nonce := make([]byte, gcmNonceSize)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("crypto: seal nonce: %w", err)
+	}
+	header := make([]byte, 0, 1+gcmNonceSize+4+len(associated))
+	header = append(header, envelopeVersion)
+	header = append(header, nonce...)
+	var adLen [4]byte
+	binary.BigEndian.PutUint32(adLen[:], uint32(len(associated)))
+	header = append(header, adLen[:]...)
+	header = append(header, associated...)
+
+	ct := gcm.Seal(nil, nonce, plaintext, header)
+	return append(header, ct...), nil
+}
+
+// Open decrypts a sealed envelope, returning the plaintext and the associated
+// data that was authenticated with it. Any modification of the envelope —
+// header, associated data or ciphertext — yields ErrDecrypt.
+func Open(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err error) {
+	if len(sealed) < 1+gcmNonceSize+4 {
+		return nil, nil, ErrDecrypt
+	}
+	if sealed[0] != envelopeVersion {
+		return nil, nil, fmt.Errorf("crypto: unsupported envelope version %d", sealed[0])
+	}
+	nonce := sealed[1 : 1+gcmNonceSize]
+	adLen := binary.BigEndian.Uint32(sealed[1+gcmNonceSize : 1+gcmNonceSize+4])
+	headerEnd := 1 + gcmNonceSize + 4 + int(adLen)
+	if headerEnd > len(sealed) {
+		return nil, nil, ErrDecrypt
+	}
+	header := sealed[:headerEnd]
+	associated = make([]byte, adLen)
+	copy(associated, sealed[1+gcmNonceSize+4:headerEnd])
+
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("crypto: open: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crypto: open: %w", err)
+	}
+	plaintext, err = gcm.Open(nil, nonce, sealed[headerEnd:], header)
+	if err != nil {
+		return nil, nil, ErrDecrypt
+	}
+	return plaintext, associated, nil
+}
+
+// EnvelopeOverhead is the number of bytes Seal adds on top of the plaintext
+// for a given associated-data length. Useful for storage sizing.
+func EnvelopeOverhead(associatedLen int) int {
+	return 1 + gcmNonceSize + 4 + associatedLen + 16 // 16 = GCM tag
+}
+
+// WrapKey encrypts (wraps) a symmetric key under a key-encryption key. Used
+// when sharing a document key with a recipient cell.
+func WrapKey(kek SymmetricKey, key SymmetricKey, context string) ([]byte, error) {
+	return Seal(kek, key[:], []byte("keywrap:"+context))
+}
+
+// UnwrapKey reverses WrapKey. The context must match the one used at wrap
+// time, otherwise authentication fails.
+func UnwrapKey(kek SymmetricKey, wrapped []byte, context string) (SymmetricKey, error) {
+	pt, ad, err := Open(kek, wrapped)
+	if err != nil {
+		return SymmetricKey{}, err
+	}
+	if string(ad) != "keywrap:"+context {
+		return SymmetricKey{}, ErrDecrypt
+	}
+	return SymmetricKeyFromBytes(pt)
+}

@@ -1,0 +1,186 @@
+package crypto
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+)
+
+// Merkle trees are used by cells to verify the integrity of collections of
+// blobs stored on the untrusted cloud without downloading every blob, and by
+// the audit subsystem to commit to log segments.
+
+// MerkleTree is a binary hash tree over a list of leaves.
+type MerkleTree struct {
+	levels [][][]byte // levels[0] = leaf hashes, last level = single root
+}
+
+// leafPrefix and nodePrefix provide domain separation so a leaf value cannot
+// be confused with an interior node (second-preimage hardening).
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// ErrBadProof reports a Merkle proof that does not verify.
+var ErrBadProof = errors.New("crypto: merkle proof verification failed")
+
+func hashLeaf(data []byte) []byte {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(data)
+	return h.Sum(nil)
+}
+
+func hashNode(left, right []byte) []byte {
+	h := sha256.New()
+	h.Write(nodePrefix)
+	h.Write(left)
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// NewMerkleTree builds a tree over the given leaves. An empty leaf set yields
+// a tree whose root is the hash of the empty leaf.
+func NewMerkleTree(leaves [][]byte) *MerkleTree {
+	if len(leaves) == 0 {
+		leaves = [][]byte{nil}
+	}
+	level := make([][]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(l)
+	}
+	t := &MerkleTree{levels: [][][]byte{level}}
+	for len(level) > 1 {
+		next := make([][]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				// Odd node is promoted by pairing with itself.
+				next = append(next, hashNode(level[i], level[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the Merkle root.
+func (t *MerkleTree) Root() []byte {
+	top := t.levels[len(t.levels)-1]
+	out := make([]byte, len(top[0]))
+	copy(out, top[0])
+	return out
+}
+
+// NumLeaves returns the number of leaves the tree was built over.
+func (t *MerkleTree) NumLeaves() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling hash in an inclusion proof.
+type ProofStep struct {
+	Hash  []byte
+	Right bool // true if the sibling is the right child
+}
+
+// Proof returns the inclusion proof for leaf index i.
+func (t *MerkleTree) Proof(i int) ([]ProofStep, error) {
+	if i < 0 || i >= len(t.levels[0]) {
+		return nil, errors.New("crypto: merkle proof: leaf index out of range")
+	}
+	var proof []ProofStep
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		var sib []byte
+		var right bool
+		if idx%2 == 0 {
+			if idx+1 < len(level) {
+				sib = level[idx+1]
+			} else {
+				sib = level[idx]
+			}
+			right = true
+		} else {
+			sib = level[idx-1]
+			right = false
+		}
+		step := ProofStep{Hash: make([]byte, len(sib)), Right: right}
+		copy(step.Hash, sib)
+		proof = append(proof, step)
+		idx /= 2
+	}
+	return proof, nil
+}
+
+// VerifyProof checks that leaf is included under root given the proof.
+func VerifyProof(root, leaf []byte, proof []ProofStep) error {
+	h := hashLeaf(leaf)
+	for _, step := range proof {
+		if step.Right {
+			h = hashNode(h, step.Hash)
+		} else {
+			h = hashNode(step.Hash, h)
+		}
+	}
+	if !bytes.Equal(h, root) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// HashChain is an append-only chain of hashes: each entry commits to the
+// previous head and the entry payload. The audit log uses it to make
+// tampering with history detectable.
+type HashChain struct {
+	head []byte
+	n    uint64
+}
+
+// NewHashChain creates an empty chain with a deterministic genesis head.
+func NewHashChain() *HashChain {
+	genesis := sha256.Sum256([]byte("trustedcells/hashchain/genesis"))
+	return &HashChain{head: genesis[:]}
+}
+
+// ResumeHashChain resumes a chain from a known head and length, e.g. after a
+// restart when the head was persisted in the tamper-resistant store.
+func ResumeHashChain(head []byte, n uint64) *HashChain {
+	h := make([]byte, len(head))
+	copy(h, head)
+	return &HashChain{head: h, n: n}
+}
+
+// Append extends the chain with payload and returns the new head.
+func (c *HashChain) Append(payload []byte) []byte {
+	h := sha256.New()
+	h.Write(nodePrefix)
+	h.Write(c.head)
+	h.Write(payload)
+	c.head = h.Sum(nil)
+	c.n++
+	out := make([]byte, len(c.head))
+	copy(out, c.head)
+	return out
+}
+
+// Head returns the current chain head.
+func (c *HashChain) Head() []byte {
+	out := make([]byte, len(c.head))
+	copy(out, c.head)
+	return out
+}
+
+// Len returns the number of appended entries.
+func (c *HashChain) Len() uint64 { return c.n }
+
+// VerifyChain recomputes the chain over payloads starting from genesis and
+// reports whether it ends at expectedHead.
+func VerifyChain(payloads [][]byte, expectedHead []byte) bool {
+	c := NewHashChain()
+	for _, p := range payloads {
+		c.Append(p)
+	}
+	return bytes.Equal(c.Head(), expectedHead)
+}

@@ -1,0 +1,183 @@
+package crypto
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func makeLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("blob-%04d", i))
+	}
+	return leaves
+}
+
+func TestMerkleRootDeterministic(t *testing.T) {
+	leaves := makeLeaves(7)
+	a := NewMerkleTree(leaves).Root()
+	b := NewMerkleTree(leaves).Root()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same leaves yield different roots")
+	}
+	leaves[3] = []byte("tampered")
+	c := NewMerkleTree(leaves).Root()
+	if bytes.Equal(a, c) {
+		t.Fatal("modified leaf did not change the root")
+	}
+}
+
+func TestMerkleProofAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 16, 33} {
+		leaves := makeLeaves(n)
+		tree := NewMerkleTree(leaves)
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d Proof(%d): %v", n, i, err)
+			}
+			if err := VerifyProof(root, leaves[i], proof); err != nil {
+				t.Fatalf("n=%d leaf %d: proof rejected: %v", n, i, err)
+			}
+			// Proof must not verify for a different leaf value.
+			if err := VerifyProof(root, []byte("forged"), proof); err == nil {
+				t.Fatalf("n=%d leaf %d: forged leaf accepted", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofOutOfRange(t *testing.T) {
+	tree := NewMerkleTree(makeLeaves(4))
+	if _, err := tree.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tree.Proof(4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestMerkleEmpty(t *testing.T) {
+	tree := NewMerkleTree(nil)
+	if tree.NumLeaves() != 1 {
+		t.Fatalf("empty tree should have a single sentinel leaf, got %d", tree.NumLeaves())
+	}
+	if len(tree.Root()) == 0 {
+		t.Fatal("empty tree has empty root")
+	}
+}
+
+func TestMerkleSecondPreimageResistanceShape(t *testing.T) {
+	// A tree over [a,b] must not share a root with a single leaf equal to
+	// hash(a)||hash(b) — domain separation between leaves and nodes.
+	leaves := makeLeaves(2)
+	tree := NewMerkleTree(leaves)
+	concat := append(hashLeaf(leaves[0]), hashLeaf(leaves[1])...)
+	fake := NewMerkleTree([][]byte{concat})
+	if bytes.Equal(tree.Root(), fake.Root()) {
+		t.Fatal("leaf/node domain separation missing")
+	}
+}
+
+func TestHashChainAppend(t *testing.T) {
+	c := NewHashChain()
+	if c.Len() != 0 {
+		t.Fatalf("fresh chain has length %d", c.Len())
+	}
+	h1 := c.Append([]byte("entry-1"))
+	h2 := c.Append([]byte("entry-2"))
+	if bytes.Equal(h1, h2) {
+		t.Fatal("chain head did not change after append")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("chain length = %d, want 2", c.Len())
+	}
+	if !bytes.Equal(c.Head(), h2) {
+		t.Fatal("Head() does not match the last append result")
+	}
+}
+
+func TestHashChainVerify(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	c := NewHashChain()
+	for _, p := range payloads {
+		c.Append(p)
+	}
+	if !VerifyChain(payloads, c.Head()) {
+		t.Fatal("valid chain rejected")
+	}
+	tampered := [][]byte{[]byte("a"), []byte("X"), []byte("c")}
+	if VerifyChain(tampered, c.Head()) {
+		t.Fatal("tampered chain accepted")
+	}
+	reordered := [][]byte{[]byte("b"), []byte("a"), []byte("c")}
+	if VerifyChain(reordered, c.Head()) {
+		t.Fatal("reordered chain accepted")
+	}
+	truncated := payloads[:2]
+	if VerifyChain(truncated, c.Head()) {
+		t.Fatal("truncated chain accepted")
+	}
+}
+
+func TestResumeHashChain(t *testing.T) {
+	c := NewHashChain()
+	c.Append([]byte("a"))
+	c.Append([]byte("b"))
+	resumed := ResumeHashChain(c.Head(), c.Len())
+	h1 := resumed.Append([]byte("c"))
+	c.Append([]byte("c"))
+	if !bytes.Equal(h1, c.Head()) {
+		t.Fatal("resumed chain diverges from original")
+	}
+	if resumed.Len() != 3 {
+		t.Fatalf("resumed length = %d, want 3", resumed.Len())
+	}
+}
+
+func TestMerkleProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		tree := NewMerkleTree(raw)
+		root := tree.Root()
+		for i := range raw {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				return false
+			}
+			if err := VerifyProof(root, raw[i], proof); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMerkleBuild1000(b *testing.B) {
+	leaves := makeLeaves(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMerkleTree(leaves)
+	}
+}
+
+func BenchmarkMerkleProofVerify(b *testing.B) {
+	leaves := makeLeaves(1024)
+	tree := NewMerkleTree(leaves)
+	root := tree.Root()
+	proof, _ := tree.Proof(511)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyProof(root, leaves[511], proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package datamodel defines the personal data space of a trusted cell: the
+// documents it manages, their provenance classes (the paper's three-way
+// classification of sensed, external and authored data), and the metadata
+// catalog that lets the cell answer queries before touching the encrypted
+// payloads stored in the cloud.
+package datamodel
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"trustedcells/internal/crypto"
+)
+
+// DataClass is the provenance classification introduced in the paper's
+// motivation section.
+type DataClass int
+
+const (
+	// ClassSensed is data produced by smart sensors installed by companies in
+	// the user's home or environment (power meter, GPS tracking box).
+	ClassSensed DataClass = iota
+	// ClassExternal is data produced or inferred by external systems
+	// (purchase receipts, medical records, pay slips).
+	ClassExternal
+	// ClassAuthored is data authored by the user herself (photos, mails,
+	// documents).
+	ClassAuthored
+)
+
+// String names the class.
+func (c DataClass) String() string {
+	switch c {
+	case ClassSensed:
+		return "sensed"
+	case ClassExternal:
+		return "external"
+	case ClassAuthored:
+		return "authored"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseDataClass parses the textual form produced by String.
+func ParseDataClass(s string) (DataClass, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sensed":
+		return ClassSensed, nil
+	case "external":
+		return ClassExternal, nil
+	case "authored":
+		return ClassAuthored, nil
+	default:
+		return 0, fmt.Errorf("datamodel: unknown data class %q", s)
+	}
+}
+
+// Errors returned by the catalog.
+var (
+	ErrDocNotFound = errors.New("datamodel: document not found")
+	ErrDuplicateID = errors.New("datamodel: duplicate document id")
+	ErrInvalidDoc  = errors.New("datamodel: invalid document")
+)
+
+// Document is the metadata describing one item of the personal data space.
+// The payload itself is encrypted and stored separately (locally or in the
+// cloud); the document references it by content hash so integrity can be
+// verified on retrieval.
+type Document struct {
+	// ID is the unique document identifier within the owner's space.
+	ID string `json:"id"`
+	// Owner is the identifier of the owning cell/user.
+	Owner string `json:"owner"`
+	// Class records the provenance of the data.
+	Class DataClass `json:"class"`
+	// Type is an application-level type tag, e.g. "power-series", "photo",
+	// "medical-record", "receipt".
+	Type string `json:"type"`
+	// Title is a human-readable label.
+	Title string `json:"title"`
+	// Keywords index the document for metadata-first search.
+	Keywords []string `json:"keywords"`
+	// Tags carry application attributes (e.g. "year=2013", "device=linky").
+	Tags map[string]string `json:"tags"`
+	// CreatedAt is the document creation time.
+	CreatedAt time.Time `json:"created_at"`
+	// Size is the plaintext payload size in bytes.
+	Size int64 `json:"size"`
+	// ContentHash is the SHA-256 of the plaintext payload.
+	ContentHash string `json:"content_hash"`
+	// BlobRef locates the encrypted payload (a cloud blob name or a local
+	// cache key). Empty while the document has no externalized payload.
+	BlobRef string `json:"blob_ref"`
+	// KeyFingerprint identifies (without revealing) the encryption key.
+	KeyFingerprint string `json:"key_fingerprint"`
+}
+
+// Validate checks the structural invariants of a document.
+func (d *Document) Validate() error {
+	switch {
+	case d.ID == "":
+		return fmt.Errorf("%w: empty id", ErrInvalidDoc)
+	case d.Owner == "":
+		return fmt.Errorf("%w: empty owner", ErrInvalidDoc)
+	case d.Type == "":
+		return fmt.Errorf("%w: empty type", ErrInvalidDoc)
+	case d.Size < 0:
+		return fmt.Errorf("%w: negative size", ErrInvalidDoc)
+	}
+	return nil
+}
+
+// NewDocumentID derives a unique, unguessable document identifier from the
+// owner, type and content hash.
+func NewDocumentID(owner, docType string, contentHash string) string {
+	h := crypto.HashString([]byte(owner + "\x00" + docType + "\x00" + contentHash))
+	return "doc-" + h[:24]
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() *Document {
+	c := *d
+	c.Keywords = append([]string(nil), d.Keywords...)
+	c.Tags = make(map[string]string, len(d.Tags))
+	for k, v := range d.Tags {
+		c.Tags[k] = v
+	}
+	return &c
+}
+
+// Encode serialises the document metadata.
+func (d *Document) Encode() ([]byte, error) { return json.Marshal(d) }
+
+// DecodeDocument parses document metadata.
+func DecodeDocument(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("datamodel: decode document: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Query describes a metadata-first search over the catalog. Zero-valued
+// fields are ignored; all set fields must match (conjunction).
+type Query struct {
+	Owner    string
+	Class    *DataClass
+	Type     string
+	Keyword  string
+	TagKey   string
+	TagValue string
+	After    time.Time
+	Before   time.Time
+	Limit    int
+}
+
+// Catalog is the in-cell metadata index. It is kept small enough to live in
+// the trusted cell (the paper: "at a minimum, trusted cells keep locally
+// extended metadata: access information, indexes, keywords and cryptographic
+// keys") and supports keyword, tag, class and time queries without touching
+// the cloud.
+type Catalog struct {
+	mu      sync.RWMutex
+	docs    map[string]*Document
+	keyword map[string]map[string]bool // keyword -> set of doc IDs
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		docs:    make(map[string]*Document),
+		keyword: make(map[string]map[string]bool),
+	}
+}
+
+// Add inserts a document. The ID must be unique.
+func (c *Catalog) Add(d *Document) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[d.ID]; exists {
+		return ErrDuplicateID
+	}
+	clone := d.Clone()
+	c.docs[d.ID] = clone
+	c.indexKeywordsLocked(clone)
+	return nil
+}
+
+// Update replaces an existing document's metadata.
+func (c *Catalog) Update(d *Document) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, exists := c.docs[d.ID]
+	if !exists {
+		return ErrDocNotFound
+	}
+	c.unindexKeywordsLocked(old)
+	clone := d.Clone()
+	c.docs[d.ID] = clone
+	c.indexKeywordsLocked(clone)
+	return nil
+}
+
+// Get returns the document with the given ID.
+func (c *Catalog) Get(id string) (*Document, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, ErrDocNotFound
+	}
+	return d.Clone(), nil
+}
+
+// Remove deletes a document from the catalog.
+func (c *Catalog) Remove(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return ErrDocNotFound
+	}
+	c.unindexKeywordsLocked(d)
+	delete(c.docs, id)
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Search evaluates a metadata query and returns matching documents sorted by
+// creation time (newest first), truncated to q.Limit if positive.
+func (c *Catalog) Search(q Query) []*Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	var candidates []*Document
+	if q.Keyword != "" {
+		ids := c.keyword[normalizeKeyword(q.Keyword)]
+		for id := range ids {
+			candidates = append(candidates, c.docs[id])
+		}
+	} else {
+		for _, d := range c.docs {
+			candidates = append(candidates, d)
+		}
+	}
+
+	var out []*Document
+	for _, d := range candidates {
+		if d == nil || !matches(d, q) {
+			continue
+		}
+		out = append(out, d.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].CreatedAt.After(out[j].CreatedAt)
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// All returns every document, sorted by ID. Intended for synchronization.
+func (c *Catalog) All() []*Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Document, 0, len(c.docs))
+	for _, d := range c.docs {
+		out = append(out, d.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func matches(d *Document, q Query) bool {
+	if q.Owner != "" && d.Owner != q.Owner {
+		return false
+	}
+	if q.Class != nil && d.Class != *q.Class {
+		return false
+	}
+	if q.Type != "" && d.Type != q.Type {
+		return false
+	}
+	if q.Keyword != "" && !hasKeyword(d, q.Keyword) {
+		return false
+	}
+	if q.TagKey != "" {
+		v, ok := d.Tags[q.TagKey]
+		if !ok {
+			return false
+		}
+		if q.TagValue != "" && v != q.TagValue {
+			return false
+		}
+	}
+	if !q.After.IsZero() && d.CreatedAt.Before(q.After) {
+		return false
+	}
+	if !q.Before.IsZero() && !d.CreatedAt.Before(q.Before) {
+		return false
+	}
+	return true
+}
+
+func hasKeyword(d *Document, kw string) bool {
+	kw = normalizeKeyword(kw)
+	for _, k := range d.Keywords {
+		if normalizeKeyword(k) == kw {
+			return true
+		}
+	}
+	return false
+}
+
+func normalizeKeyword(k string) string {
+	return strings.ToLower(strings.TrimSpace(k))
+}
+
+func (c *Catalog) indexKeywordsLocked(d *Document) {
+	for _, k := range d.Keywords {
+		k = normalizeKeyword(k)
+		if k == "" {
+			continue
+		}
+		set := c.keyword[k]
+		if set == nil {
+			set = make(map[string]bool)
+			c.keyword[k] = set
+		}
+		set[d.ID] = true
+	}
+}
+
+func (c *Catalog) unindexKeywordsLocked(d *Document) {
+	for _, k := range d.Keywords {
+		k = normalizeKeyword(k)
+		if set := c.keyword[k]; set != nil {
+			delete(set, d.ID)
+			if len(set) == 0 {
+				delete(c.keyword, k)
+			}
+		}
+	}
+}
+
+// EncodeCatalog serialises all documents (for the encrypted metadata blob a
+// portable cell synchronizes with its vault).
+func (c *Catalog) EncodeCatalog() ([]byte, error) {
+	return json.Marshal(c.All())
+}
+
+// LoadCatalog rebuilds a catalog from EncodeCatalog output.
+func LoadCatalog(data []byte) (*Catalog, error) {
+	var docs []*Document
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return nil, fmt.Errorf("datamodel: load catalog: %w", err)
+	}
+	c := NewCatalog()
+	for _, d := range docs {
+		if err := c.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,130 @@
+// Package query provides the cross-document query facility the paper
+// motivates when it argues for "organizing all these data in a common
+// personal digital space, providing a consistent view, facilitating querying
+// and cross-analysis". It plans metadata-first queries over a trusted cell:
+// the catalog is consulted locally to select documents, and only then are the
+// (policy-checked) payload operations executed.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"trustedcells/internal/core"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/timeseries"
+)
+
+// ErrNoDocuments indicates an aggregate query that matched nothing.
+var ErrNoDocuments = errors.New("query: no documents match the filter")
+
+// Engine executes queries against a single cell on behalf of a subject.
+type Engine struct {
+	cell    *core.Cell
+	subject string
+	ctx     core.AccessContext
+}
+
+// NewEngine builds an engine for subject with the given access context.
+func NewEngine(cell *core.Cell, subject string, ctx core.AccessContext) *Engine {
+	return &Engine{cell: cell, subject: subject, ctx: ctx}
+}
+
+// Metadata runs a catalog query (owner-side operation).
+func (e *Engine) Metadata(q datamodel.Query) ([]*datamodel.Document, error) {
+	return e.cell.Search(q)
+}
+
+// SeriesAggregate describes an aggregate query over all time-series documents
+// matching a metadata filter.
+type SeriesAggregate struct {
+	Filter      datamodel.Query
+	Granularity timeseries.Granularity
+	Kind        timeseries.AggregateKind
+}
+
+// SeriesResult is the merged result of a SeriesAggregate query.
+type SeriesResult struct {
+	// Documents lists the document IDs that contributed.
+	Documents []string
+	// Merged is the bucket-wise combination of the per-document aggregates
+	// (sums are added, means are averaged over documents).
+	Merged *timeseries.Series
+	// Denied counts documents the policy refused to open for this subject.
+	Denied int
+}
+
+// RunSeriesAggregate plans and executes the aggregate: metadata filtering is
+// local, then each matching document goes through the cell's reference
+// monitor (so per-document policies and granularity caps apply).
+func (e *Engine) RunSeriesAggregate(q SeriesAggregate) (*SeriesResult, error) {
+	filter := q.Filter
+	filter.Type = core.SeriesDocType
+	docs, err := e.cell.Search(filter)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNoDocuments
+	}
+	res := &SeriesResult{}
+	type bucket struct {
+		sum   float64
+		count int
+	}
+	merged := make(map[time.Time]*bucket)
+	for _, d := range docs {
+		agg, err := e.cell.Aggregate(e.subject, d.ID, q.Granularity, q.Kind, e.ctx)
+		if err != nil {
+			res.Denied++
+			continue
+		}
+		res.Documents = append(res.Documents, d.ID)
+		for _, p := range agg.Points() {
+			b := merged[p.Time]
+			if b == nil {
+				b = &bucket{}
+				merged[p.Time] = b
+			}
+			b.sum += p.Value
+			b.count++
+		}
+	}
+	if len(res.Documents) == 0 {
+		return res, fmt.Errorf("%w for subject %s", core.ErrAccessDenied, e.subject)
+	}
+	times := make([]time.Time, 0, len(merged))
+	for ts := range merged {
+		times = append(times, ts)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	out := timeseries.NewSeries(fmt.Sprintf("merged-%s", q.Kind), "")
+	for _, ts := range times {
+		b := merged[ts]
+		v := b.sum
+		if q.Kind == timeseries.AggregateMean && b.count > 0 {
+			v = b.sum / float64(b.count)
+		}
+		if err := out.AppendValue(ts, v); err != nil {
+			return nil, err
+		}
+	}
+	res.Merged = out
+	return res, nil
+}
+
+// KeywordCount returns, for each keyword, the number of catalog documents
+// carrying it — a cheap metadata-only cross-analysis.
+func (e *Engine) KeywordCount(keywords []string) (map[string]int, error) {
+	out := make(map[string]int, len(keywords))
+	for _, kw := range keywords {
+		docs, err := e.cell.Search(datamodel.Query{Keyword: kw})
+		if err != nil {
+			return nil, err
+		}
+		out[kw] = len(docs)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/core"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/tamper"
+	"trustedcells/internal/timeseries"
+)
+
+var start = time.Date(2013, 1, 21, 0, 0, 0, 0, time.UTC)
+
+func newCellWithSeries(t *testing.T, nDocs int) *core.Cell {
+	t.Helper()
+	cell, err := core.New(core.Config{
+		ID: "alice-gw", Class: tamper.ClassHomeGateway, Cloud: cloud.NewMemory(),
+		Seed: []byte("seed"), Clock: func() time.Time { return start },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < nDocs; d++ {
+		s := timeseries.NewSeries("power", "W")
+		for i := 0; i < 24; i++ {
+			_ = s.AppendValue(start.Add(time.Duration(i)*time.Hour), float64(100*(d+1)))
+		}
+		if _, err := cell.IngestSeries(s, "day", []string{"energy"}, map[string]string{"meter": "linky"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-series document that must not pollute series queries.
+	if _, err := cell.Ingest([]byte("note"), core.IngestOptions{Type: "note",
+		Class: datamodel.ClassAuthored, Keywords: []string{"energy", "todo"}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = cell.AddRule(policy.Rule{ID: "household-agg", Effect: policy.EffectAllow,
+		SubjectGroups:  []string{"household"},
+		Actions:        []policy.Action{policy.ActionAggregate},
+		Resource:       policy.Resource{Type: core.SeriesDocType},
+		MaxGranularity: time.Hour,
+	})
+	return cell
+}
+
+func TestRunSeriesAggregateMergesDocuments(t *testing.T) {
+	cell := newCellWithSeries(t, 3)
+	eng := NewEngine(cell, "bob", core.AccessContext{Groups: []string{"household"}})
+	res, err := eng.RunSeriesAggregate(SeriesAggregate{
+		Granularity: timeseries.GranularityHour,
+		Kind:        timeseries.AggregateSum,
+	})
+	if err != nil {
+		t.Fatalf("RunSeriesAggregate: %v", err)
+	}
+	if len(res.Documents) != 3 || res.Denied != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Merged.Len() != 24 {
+		t.Fatalf("merged buckets = %d", res.Merged.Len())
+	}
+	// Each hour: 100 + 200 + 300 = 600.
+	if v := res.Merged.At(0).Value; v != 600 {
+		t.Fatalf("merged value = %v, want 600", v)
+	}
+	// Mean across documents.
+	res, err = eng.RunSeriesAggregate(SeriesAggregate{
+		Granularity: timeseries.GranularityHour,
+		Kind:        timeseries.AggregateMean,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Merged.At(0).Value; v != 200 {
+		t.Fatalf("merged mean = %v, want 200", v)
+	}
+}
+
+func TestRunSeriesAggregateDeniedForStrangers(t *testing.T) {
+	cell := newCellWithSeries(t, 2)
+	eng := NewEngine(cell, "stranger", core.AccessContext{})
+	res, err := eng.RunSeriesAggregate(SeriesAggregate{
+		Granularity: timeseries.GranularityHour,
+		Kind:        timeseries.AggregateSum,
+	})
+	if !errors.Is(err, core.ErrAccessDenied) {
+		t.Fatalf("expected access denied, got %v (res=%+v)", err, res)
+	}
+	if res == nil || res.Denied != 2 {
+		t.Fatalf("denied count %+v", res)
+	}
+}
+
+func TestRunSeriesAggregateGranularityCap(t *testing.T) {
+	cell := newCellWithSeries(t, 1)
+	eng := NewEngine(cell, "bob", core.AccessContext{Groups: []string{"household"}})
+	// 1-minute granularity is finer than the 1-hour cap → every doc denied.
+	if _, err := eng.RunSeriesAggregate(SeriesAggregate{
+		Granularity: timeseries.GranularityMinute,
+		Kind:        timeseries.AggregateMean,
+	}); !errors.Is(err, core.ErrAccessDenied) {
+		t.Fatalf("granularity cap not enforced: %v", err)
+	}
+}
+
+func TestRunSeriesAggregateNoMatch(t *testing.T) {
+	cell := newCellWithSeries(t, 1)
+	eng := NewEngine(cell, "bob", core.AccessContext{Groups: []string{"household"}})
+	_, err := eng.RunSeriesAggregate(SeriesAggregate{
+		Filter:      datamodel.Query{TagKey: "meter", TagValue: "nonexistent"},
+		Granularity: timeseries.GranularityHour,
+		Kind:        timeseries.AggregateSum,
+	})
+	if err != ErrNoDocuments {
+		t.Fatalf("expected ErrNoDocuments, got %v", err)
+	}
+}
+
+func TestMetadataAndKeywordCount(t *testing.T) {
+	cell := newCellWithSeries(t, 2)
+	eng := NewEngine(cell, "alice", core.AccessContext{})
+	docs, err := eng.Metadata(datamodel.Query{Keyword: "energy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 { // 2 series + 1 note
+		t.Fatalf("metadata matches = %d", len(docs))
+	}
+	counts, err := eng.KeywordCount([]string{"energy", "todo", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["energy"] != 3 || counts["todo"] != 1 || counts["missing"] != 0 {
+		t.Fatalf("keyword counts %v", counts)
+	}
+}

@@ -1,0 +1,137 @@
+// Package sharing defines the secure-sharing protocol messages exchanged by
+// trusted cells through the untrusted infrastructure. Sharing a document
+// means sharing three things (per the paper): the metadata (so the recipient
+// can locate the referenced data in the cloud), the cryptographic key (so the
+// recipient cell can decrypt it) and the sticky policy (so the recipient cell
+// enforces the expected access and usage control rules).
+//
+// The document key is wrapped under a pairing key shared by the two cells, so
+// the infrastructure relaying the offer learns nothing, and the whole offer
+// is signed by the originator cell so the recipient can check its
+// legitimacy.
+package sharing
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+)
+
+// Errors returned when validating offers.
+var (
+	ErrBadOffer       = errors.New("sharing: offer verification failed")
+	ErrWrongRecipient = errors.New("sharing: offer addressed to another cell")
+)
+
+// Offer is the share-offer message sent from the originator cell to the
+// recipient cell (via the cloud mailbox).
+type Offer struct {
+	// From and To are the cell identifiers.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Document is the shared document's metadata (including its BlobRef in
+	// the cloud).
+	Document *datamodel.Document `json:"document"`
+	// WrappedKey is the document key wrapped under the pairing key of the two
+	// cells.
+	WrappedKey []byte `json:"wrapped_key"`
+	// Sticky is the signed sticky policy the recipient must enforce.
+	Sticky *policy.StickyPolicy `json:"sticky"`
+	// CreatedAt timestamps the offer.
+	CreatedAt time.Time `json:"created_at"`
+	// OriginatorKey and Signature authenticate the offer itself.
+	OriginatorKey []byte `json:"originator_key"`
+	Signature     []byte `json:"signature"`
+}
+
+func (o *Offer) message() ([]byte, error) {
+	clone := *o
+	clone.Signature = nil
+	return json.Marshal(&clone)
+}
+
+// BuildOffer wraps the document key and signs the offer.
+func BuildOffer(from, to string, doc *datamodel.Document, docKey, pairingKey crypto.SymmetricKey,
+	sticky *policy.StickyPolicy, createdAt time.Time, originatorKey crypto.VerifyKey,
+	sign func([]byte) ([]byte, error)) (*Offer, error) {
+
+	wrapped, err := crypto.WrapKey(pairingKey, docKey, "share:"+from+":"+to+":"+doc.ID)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: wrapping key: %w", err)
+	}
+	o := &Offer{
+		From:          from,
+		To:            to,
+		Document:      doc.Clone(),
+		WrappedKey:    wrapped,
+		Sticky:        sticky,
+		CreatedAt:     createdAt,
+		OriginatorKey: originatorKey.Bytes(),
+	}
+	msg, err := o.message()
+	if err != nil {
+		return nil, fmt.Errorf("sharing: encoding offer: %w", err)
+	}
+	sig, err := sign(msg)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: signing offer: %w", err)
+	}
+	o.Signature = sig
+	return o, nil
+}
+
+// Verify checks the offer: addressed to recipient, signed by the claimed
+// originator, carrying a sticky policy bound to the document, and (when
+// expectedOriginator is non-nil) signed with the expected originator key.
+func (o *Offer) Verify(recipient string, expectedOriginator *crypto.VerifyKey) error {
+	if o.To != recipient {
+		return ErrWrongRecipient
+	}
+	if o.Document == nil || o.Sticky == nil {
+		return fmt.Errorf("%w: missing document or sticky policy", ErrBadOffer)
+	}
+	vk, err := crypto.VerifyKeyFromBytes(o.OriginatorKey)
+	if err != nil {
+		return fmt.Errorf("%w: bad originator key", ErrBadOffer)
+	}
+	if expectedOriginator != nil && !vk.Equal(*expectedOriginator) {
+		return fmt.Errorf("%w: unexpected originator key", ErrBadOffer)
+	}
+	msg, err := o.message()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOffer, err)
+	}
+	if err := vk.Verify(msg, o.Signature); err != nil {
+		return fmt.Errorf("%w: bad signature", ErrBadOffer)
+	}
+	if err := o.Sticky.Verify(o.Document.ContentHash); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOffer, err)
+	}
+	if o.Sticky.DocumentID != o.Document.ID {
+		return fmt.Errorf("%w: sticky policy bound to a different document", ErrBadOffer)
+	}
+	return nil
+}
+
+// UnwrapKey recovers the document key using the pairing key shared with the
+// originator.
+func (o *Offer) UnwrapKey(pairingKey crypto.SymmetricKey) (crypto.SymmetricKey, error) {
+	return crypto.UnwrapKey(pairingKey, o.WrappedKey, "share:"+o.From+":"+o.To+":"+o.Document.ID)
+}
+
+// Encode serialises the offer for the cloud mailbox.
+func (o *Offer) Encode() ([]byte, error) { return json.Marshal(o) }
+
+// DecodeOffer parses an offer.
+func DecodeOffer(data []byte) (*Offer, error) {
+	var o Offer
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("sharing: decode offer: %w", err)
+	}
+	return &o, nil
+}

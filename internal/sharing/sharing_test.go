@@ -1,0 +1,133 @@
+package sharing
+
+import (
+	"testing"
+	"time"
+
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+)
+
+var now = time.Date(2013, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func fixture(t *testing.T) (*Offer, crypto.SymmetricKey, crypto.SymmetricKey, *crypto.SigningKey) {
+	t.Helper()
+	originator, _ := crypto.NewSigningKey()
+	docKey, _ := crypto.NewSymmetricKey()
+	pairKey, _ := crypto.NewSymmetricKey()
+	doc := &datamodel.Document{
+		ID: "doc-1", Owner: "alice", Type: "photo", Class: datamodel.ClassAuthored,
+		ContentHash: "hash-1", BlobRef: "alice/vault/doc-1", CreatedAt: now, Size: 10,
+	}
+	sticky, err := policy.SealSticky(policy.StickyPolicy{
+		DocumentID: "doc-1", ContentHash: "hash-1", OriginatorID: "alice",
+		Access: policy.Set{Owner: "alice"},
+	}, originator.Public(), func(m []byte) ([]byte, error) { return originator.Sign(m), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	offer, err := BuildOffer("alice", "bob", doc, docKey, pairKey, sticky, now, originator.Public(),
+		func(m []byte) ([]byte, error) { return originator.Sign(m), nil })
+	if err != nil {
+		t.Fatalf("BuildOffer: %v", err)
+	}
+	return offer, docKey, pairKey, originator
+}
+
+func TestOfferVerifyAndUnwrap(t *testing.T) {
+	offer, docKey, pairKey, originator := fixture(t)
+	if err := offer.Verify("bob", nil); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	pub := originator.Public()
+	if err := offer.Verify("bob", &pub); err != nil {
+		t.Fatalf("Verify with expected originator: %v", err)
+	}
+	got, err := offer.UnwrapKey(pairKey)
+	if err != nil {
+		t.Fatalf("UnwrapKey: %v", err)
+	}
+	if got != docKey {
+		t.Fatal("unwrapped key differs")
+	}
+}
+
+func TestOfferWrongRecipient(t *testing.T) {
+	offer, _, _, _ := fixture(t)
+	if err := offer.Verify("carol", nil); err != ErrWrongRecipient {
+		t.Fatalf("expected ErrWrongRecipient, got %v", err)
+	}
+}
+
+func TestOfferWrongOriginatorKey(t *testing.T) {
+	offer, _, _, _ := fixture(t)
+	other, _ := crypto.NewSigningKey()
+	pub := other.Public()
+	if err := offer.Verify("bob", &pub); err == nil {
+		t.Fatal("offer accepted with unexpected originator key")
+	}
+}
+
+func TestOfferTamperedDocumentRejected(t *testing.T) {
+	offer, _, _, _ := fixture(t)
+	offer.Document.BlobRef = "mallory/evil-blob"
+	if err := offer.Verify("bob", nil); err == nil {
+		t.Fatal("tampered offer accepted")
+	}
+}
+
+func TestOfferStickyMismatchRejected(t *testing.T) {
+	offer, _, _, originator := fixture(t)
+	// Re-seal the sticky policy for a different document and splice it in.
+	otherSticky, _ := policy.SealSticky(policy.StickyPolicy{
+		DocumentID: "doc-2", ContentHash: "hash-1", OriginatorID: "alice",
+	}, originator.Public(), func(m []byte) ([]byte, error) { return originator.Sign(m), nil })
+	offer.Sticky = otherSticky
+	if err := offer.Verify("bob", nil); err == nil {
+		t.Fatal("offer with mismatched sticky policy accepted")
+	}
+}
+
+func TestOfferUnwrapWithWrongPairingKey(t *testing.T) {
+	offer, _, _, _ := fixture(t)
+	wrong, _ := crypto.NewSymmetricKey()
+	if _, err := offer.UnwrapKey(wrong); err == nil {
+		t.Fatal("key unwrapped with wrong pairing key")
+	}
+}
+
+func TestOfferEncodeDecode(t *testing.T) {
+	offer, _, pairKey, _ := fixture(t)
+	enc, err := offer.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeOffer(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Verify("bob", nil); err != nil {
+		t.Fatalf("decoded offer does not verify: %v", err)
+	}
+	if _, err := dec.UnwrapKey(pairKey); err != nil {
+		t.Fatalf("decoded offer key unwrap: %v", err)
+	}
+	if _, err := DecodeOffer([]byte("{bad")); err == nil {
+		t.Fatal("bad offer JSON accepted")
+	}
+}
+
+func TestOfferMissingPartsRejected(t *testing.T) {
+	offer, _, _, _ := fixture(t)
+	noDoc := *offer
+	noDoc.Document = nil
+	if err := noDoc.Verify("bob", nil); err == nil {
+		t.Fatal("offer without document accepted")
+	}
+	noSticky := *offer
+	noSticky.Sticky = nil
+	if err := noSticky.Verify("bob", nil); err == nil {
+		t.Fatal("offer without sticky policy accepted")
+	}
+}

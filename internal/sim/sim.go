@@ -1,0 +1,120 @@
+// Package sim is the experiment harness of the repository. The paper being a
+// vision paper with no evaluation section, DESIGN.md defines a synthetic
+// evaluation suite (experiments E1–E8 plus the Figure 1 walk-through), each
+// substantiating one architectural claim. This package implements every
+// experiment as a pure function returning a Table, so the same code backs the
+// Go benchmarks, the tcbench command line and EXPERIMENTS.md.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment result, rendered as the paper-style table the
+// harness regenerates.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table in a fixed-width textual form.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(sep, "  ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// ExperimentIDs lists the experiments in presentation order.
+func ExperimentIDs() []string {
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "fig1"}
+}
+
+// Run dispatches an experiment by ID with default parameters.
+func Run(id string) (*Table, error) {
+	switch strings.ToLower(id) {
+	case "e1":
+		return RunE1(DefaultE1Config())
+	case "e2":
+		return RunE2(DefaultE2Config())
+	case "e3":
+		return RunE3(DefaultE3Config())
+	case "e4":
+		return RunE4(DefaultE4Config())
+	case "e5":
+		return RunE5(DefaultE5Config())
+	case "e6":
+		return RunE6(DefaultE6Config())
+	case "e7":
+		return RunE7(DefaultE7Config())
+	case "e8":
+		return RunE8(DefaultE8Config())
+	case "fig1":
+		return RunFig1()
+	default:
+		return nil, fmt.Errorf("sim: unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	table := &Table{ID: "X", Title: "demo", Headers: []string{"a", "bb"}, Notes: []string{"a note"}}
+	table.AddRow("1", "2")
+	table.AddRow("longer", "4")
+	out := table.String()
+	for _, want := range []string{"X — demo", "a", "bb", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDispatchUnknown(t *testing.T) {
+	if _, err := Run("e99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(ids))
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float: %v", s, err)
+	}
+	return v
+}
+
+func TestRunE1Shape(t *testing.T) {
+	cfg := DefaultE1Config()
+	table, err := RunE1(cfg)
+	if err != nil {
+		t.Fatalf("RunE1: %v", err)
+	}
+	if len(table.Rows) != len(cfg.Granularities) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// F1 at 1 s must clearly exceed F1 at 15 min — the paper's core privacy
+	// claim — and coarse aggregates must lose most of the appliance signal.
+	f1Fine := parseFloat(t, table.Rows[0][1])
+	f1Coarse := parseFloat(t, table.Rows[2][1])
+	if f1Fine <= f1Coarse {
+		t.Fatalf("appliance inference did not degrade: 1s=%.2f 15min=%.2f\n%s", f1Fine, f1Coarse, table)
+	}
+	if f1Coarse > 0.75*f1Fine {
+		t.Fatalf("15-minute aggregates barely degrade inference (1s=%.2f, 15min=%.2f)", f1Fine, f1Coarse)
+	}
+}
+
+func TestRunE2Shape(t *testing.T) {
+	cfg := DefaultE2Config()
+	cfg.Records = 1500
+	cfg.Lookups = 300
+	table, err := RunE2(cfg)
+	if err != nil {
+		t.Fatalf("RunE2: %v", err)
+	}
+	if len(table.Rows) != len(cfg.Classes) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// The secure token must be slower than the TrustZone phone for inserts.
+	tokenInsert, err1 := time.ParseDuration(table.Rows[0][2])
+	phoneInsert, err2 := time.ParseDuration(table.Rows[2][2])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("cannot parse durations: %v %v\n%s", err1, err2, table)
+	}
+	if tokenInsert <= phoneInsert {
+		t.Fatalf("token (%v) should be slower than phone (%v)\n%s", tokenInsert, phoneInsert, table)
+	}
+}
+
+func TestRunE3Shape(t *testing.T) {
+	cfg := E3Config{PayloadSizes: []int{1 << 10, 64 << 10}}
+	table, err := RunE3(cfg)
+	if err != nil {
+		t.Fatalf("RunE3: %v", err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[5] == "0" {
+			t.Fatalf("no cloud messages recorded: %v", row)
+		}
+	}
+}
+
+func TestRunE4Shape(t *testing.T) {
+	cfg := E4Config{Populations: []int{10, 100}, Aggregators: 3}
+	table, err := RunE4(cfg)
+	if err != nil {
+		t.Fatalf("RunE4: %v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Bytes per cell stays flat for cloud-assisted, grows for pure SMC.
+	var smcSmall, smcLarge, cloudSmall, cloudLarge float64
+	for _, row := range table.Rows {
+		bytesPerCell := parseFloat(t, row[3])
+		switch {
+		case row[0] == "10" && row[1] == "pure-smc":
+			smcSmall = bytesPerCell
+		case row[0] == "100" && row[1] == "pure-smc":
+			smcLarge = bytesPerCell
+		case row[0] == "10" && row[1] == "cloud-assisted":
+			cloudSmall = bytesPerCell
+		case row[0] == "100" && row[1] == "cloud-assisted":
+			cloudLarge = bytesPerCell
+		}
+	}
+	if smcLarge <= smcSmall {
+		t.Fatalf("pure SMC per-cell bytes should grow with population\n%s", table)
+	}
+	if cloudLarge != cloudSmall {
+		t.Fatalf("cloud-assisted per-cell bytes should be constant\n%s", table)
+	}
+}
+
+func TestRunE5DetectsEverything(t *testing.T) {
+	cfg := E5Config{Blobs: 100, BlobSize: 512, TamperRates: []float64{0.05, 0.2}}
+	table, err := RunE5(cfg)
+	if err != nil {
+		t.Fatalf("RunE5: %v", err)
+	}
+	for _, row := range table.Rows {
+		if row[4] != "n/a" && row[4] != "100%" {
+			t.Fatalf("detection rate below 100%%: %v", row)
+		}
+	}
+}
+
+func TestRunE6Shape(t *testing.T) {
+	cfg := E6Config{Users: 50, DocsPerUser: 3, Reads: 50}
+	table, err := RunE6(cfg)
+	if err != nil {
+		t.Fatalf("RunE6: %v", err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if !strings.Contains(table.Rows[0][1], "150") {
+		t.Fatalf("central breach should expose all 150 records: %v", table.Rows[0])
+	}
+	if !strings.Contains(table.Rows[0][2], "3 ") && !strings.HasPrefix(table.Rows[0][2], "3") {
+		t.Fatalf("cell breach should expose 3 records: %v", table.Rows[0])
+	}
+	if !strings.Contains(table.Rows[1][1], "50 of 50") {
+		t.Fatalf("policy change should affect every central user: %v", table.Rows[1])
+	}
+	if !strings.HasPrefix(table.Rows[1][2], "0") {
+		t.Fatalf("policy change should not leak from cells: %v", table.Rows[1])
+	}
+}
+
+func TestRunE7Converges(t *testing.T) {
+	cfg := E7Config{Updates: 100, DisconnectRates: []float64{0, 0.5}, Seed: 3, MaxRecoverRounds: 20}
+	table, err := RunE7(cfg)
+	if err != nil {
+		t.Fatalf("RunE7: %v", err)
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("replicas did not converge: %v", row)
+		}
+	}
+}
+
+func TestRunE8Shape(t *testing.T) {
+	cfg := E8Config{Records: 500, Seed: 17, Ks: []int{2, 50}, Epsilons: []float64{0.1, 2}, Trials: 10}
+	table, err := RunE8(cfg)
+	if err != nil {
+		t.Fatalf("RunE8: %v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	lossK2 := parseFloat(t, table.Rows[0][2])
+	lossK50 := parseFloat(t, table.Rows[1][2])
+	if lossK50 < lossK2 {
+		t.Fatalf("information loss should not shrink with k: %v vs %v", lossK2, lossK50)
+	}
+	maeLoose := parseFloat(t, table.Rows[2][3])
+	maeTight := parseFloat(t, table.Rows[3][3])
+	if maeTight >= maeLoose {
+		t.Fatalf("DP error should shrink as epsilon grows: %v vs %v", maeLoose, maeTight)
+	}
+}
+
+func TestRunFig1AllFlowsSucceed(t *testing.T) {
+	table, err := RunFig1()
+	if err != nil {
+		t.Fatalf("RunFig1: %v", err)
+	}
+	if len(table.Rows) != 7 {
+		t.Fatalf("expected 7 flows, got %d\n%s", len(table.Rows), table)
+	}
+	out := table.String()
+	for _, want := range []string{"raw read denied: true", "provider verification: true", "recipient read ok: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("walk-through missing %q:\n%s", want, out)
+		}
+	}
+}

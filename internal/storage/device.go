@@ -1,0 +1,202 @@
+// Package storage implements the embedded storage engine that runs inside a
+// trusted cell. The paper's challenge section singles out "low-end hardware
+// devices like secure tokens (a microcontroller with tiny RAM, connected to
+// NAND Flash chips or SD cards, possibly with energy consumption
+// constraints)"; the engine is therefore designed as a log-structured
+// merge store:
+//
+//   - all writes are sequential appends (NAND-flash friendly, no in-place
+//     updates);
+//   - the RAM-resident write buffer (memtable) is bounded by the hardware
+//     profile's RAM budget;
+//   - reads consult the memtable, then immutable sorted runs through a sparse
+//     in-RAM index, touching a bounded number of flash pages;
+//   - compaction merges runs to bound read amplification.
+//
+// Every page touched is charged to a tamper.CostMeter so that experiments can
+// convert engine work into simulated device time and energy.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"trustedcells/internal/tamper"
+)
+
+// PageSize is the flash page granularity used for cost accounting.
+const PageSize = 512
+
+// Errors returned by devices and the engine.
+var (
+	ErrNotFound   = errors.New("storage: key not found")
+	ErrClosed     = errors.New("storage: store is closed")
+	ErrCorrupt    = errors.New("storage: corrupted record")
+	ErrReadOnly   = errors.New("storage: device is read-only")
+	ErrOutOfSpace = errors.New("storage: device capacity exceeded")
+)
+
+// Device abstracts the stable storage behind the engine: a NAND flash chip,
+// an SD card, or (for the untrusted-cache case) a plain file. Offsets are
+// byte offsets; implementations must be safe for concurrent use.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current device size in bytes (the end of the
+	// highest-written byte).
+	Size() int64
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+}
+
+// MemDevice is an in-memory Device used for tests, simulations and volatile
+// caches. A capacity of zero means unbounded.
+type MemDevice struct {
+	mu       sync.RWMutex
+	data     []byte
+	capacity int64
+}
+
+// NewMemDevice creates a memory device with the given capacity in bytes
+// (0 = unbounded).
+func NewMemDevice(capacity int64) *MemDevice {
+	return &MemDevice{capacity: capacity}
+}
+
+// ReadAt implements io.ReaderAt.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if off >= int64(len(d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := off + int64(len(p))
+	if d.capacity > 0 && end > d.capacity {
+		return 0, ErrOutOfSpace
+	}
+	if end > int64(len(d.data)) {
+		grown := make([]byte, end)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	copy(d.data[off:end], p)
+	return len(p), nil
+}
+
+// Size returns the written extent of the device.
+func (d *MemDevice) Size() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.data))
+}
+
+// Sync is a no-op for the memory device.
+func (d *MemDevice) Sync() error { return nil }
+
+// FileDevice is a Device backed by an operating-system file. It is used when
+// a cell persists its encrypted local cache on an SD card or disk.
+type FileDevice struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenFileDevice opens (creating if needed) the file at path.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open device: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat device: %w", err)
+	}
+	return &FileDevice{f: f, size: info.Size()}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	n, err := d.f.WriteAt(p, off)
+	d.mu.Lock()
+	if end := off + int64(n); end > d.size {
+		d.size = end
+	}
+	d.mu.Unlock()
+	return n, err
+}
+
+// Size returns the file size.
+func (d *FileDevice) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Sync flushes the file.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Close closes the underlying file.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MeteredDevice wraps a Device and charges every access to a cost meter in
+// units of flash pages. It is how the engine's work becomes visible to the
+// hardware-profile experiments.
+type MeteredDevice struct {
+	inner Device
+	meter *tamper.CostMeter
+}
+
+// NewMeteredDevice wraps inner so accesses are charged to meter. A nil meter
+// disables accounting.
+func NewMeteredDevice(inner Device, meter *tamper.CostMeter) *MeteredDevice {
+	return &MeteredDevice{inner: inner, meter: meter}
+}
+
+func pages(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + PageSize - 1) / PageSize
+}
+
+// ReadAt reads and charges page reads.
+func (d *MeteredDevice) ReadAt(p []byte, off int64) (int, error) {
+	n, err := d.inner.ReadAt(p, off)
+	if d.meter != nil {
+		d.meter.ChargeRead(pages(n))
+	}
+	return n, err
+}
+
+// WriteAt writes and charges page writes.
+func (d *MeteredDevice) WriteAt(p []byte, off int64) (int, error) {
+	n, err := d.inner.WriteAt(p, off)
+	if d.meter != nil {
+		d.meter.ChargeWrite(pages(n))
+	}
+	return n, err
+}
+
+// Size returns the inner device size.
+func (d *MeteredDevice) Size() int64 { return d.inner.Size() }
+
+// Sync syncs the inner device.
+func (d *MeteredDevice) Sync() error { return d.inner.Sync() }

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Options configure a KV engine instance.
+type Options struct {
+	// MemtableBytes bounds the RAM-resident write buffer. When the memtable
+	// exceeds this size it is flushed to a new run on the device. This is the
+	// knob that adapts the engine to the hardware profile's RAM budget.
+	MemtableBytes int
+	// MaxRuns is the number of on-device runs tolerated before a compaction
+	// is triggered automatically. Zero disables automatic compaction.
+	MaxRuns int
+}
+
+// DefaultOptions are sized for a secure-MCU class device.
+func DefaultOptions() Options {
+	return Options{MemtableBytes: 256 << 10, MaxRuns: 8}
+}
+
+// Stats exposes engine counters for the experiments.
+type Stats struct {
+	Puts        int64
+	Gets        int64
+	Deletes     int64
+	Flushes     int64
+	Compactions int64
+	Runs        int
+	MemtableLen int
+	MemtableB   int
+}
+
+// KV is the embedded key/value engine. All methods are safe for concurrent
+// use.
+type KV struct {
+	mu     sync.RWMutex
+	dev    Device
+	opts   Options
+	mem    *memtable
+	runs   []*run // oldest first; newer runs shadow older ones
+	closed bool
+	stats  Stats
+}
+
+// NewKV creates an engine over dev with the given options.
+func NewKV(dev Device, opts Options) *KV {
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = DefaultOptions().MemtableBytes
+	}
+	return &KV{dev: dev, opts: opts, mem: newMemtable()}
+}
+
+// Put stores value under key.
+func (kv *KV) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("storage: empty key")
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	kv.stats.Puts++
+	kv.mem.put(key, value, false)
+	return kv.maybeFlushLocked()
+}
+
+// Delete removes key. Deleting a missing key is not an error.
+func (kv *KV) Delete(key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("storage: empty key")
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	kv.stats.Deletes++
+	kv.mem.put(key, nil, true)
+	return kv.maybeFlushLocked()
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (kv *KV) Get(key []byte) ([]byte, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if kv.closed {
+		return nil, ErrClosed
+	}
+	kv.stats.Gets++
+	if e, ok := kv.mem.get(key); ok {
+		if e.tombstone {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.value...), nil
+	}
+	// Newest run first: later runs shadow earlier ones.
+	for i := len(kv.runs) - 1; i >= 0; i-- {
+		e, ok, err := kv.runs[i].get(kv.dev, key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if e.tombstone {
+				return nil, ErrNotFound
+			}
+			return e.value, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key currently has a live value.
+func (kv *KV) Has(key []byte) (bool, error) {
+	_, err := kv.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Scan calls fn for every live key/value pair with key in [start, end) in
+// ascending key order. A nil end scans to the last key. fn returning false
+// stops the scan.
+func (kv *KV) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	merged, err := kv.mergedEntriesLocked(start, end)
+	if err != nil {
+		return err
+	}
+	for _, e := range merged {
+		if e.tombstone {
+			continue
+		}
+		if !fn(e.key, e.value) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live keys (scans the whole store).
+func (kv *KV) Count() (int, error) {
+	n := 0
+	err := kv.Scan(nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Flush forces the memtable to be written as a run on the device.
+func (kv *KV) Flush() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	return kv.flushLocked()
+}
+
+// Compact merges all runs (and the memtable) into a single run, dropping
+// tombstones and shadowed versions. It bounds read amplification and reclaims
+// space logically (old runs are simply forgotten; a real flash device would
+// erase their blocks).
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	return kv.compactLocked()
+}
+
+// Stats returns a snapshot of engine counters.
+func (kv *KV) Stats() Stats {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	s := kv.stats
+	s.Runs = len(kv.runs)
+	s.MemtableLen = kv.mem.count()
+	s.MemtableB = kv.mem.size()
+	return s
+}
+
+// Close flushes and closes the engine.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return nil
+	}
+	if kv.mem.count() > 0 {
+		if err := kv.flushLocked(); err != nil {
+			return err
+		}
+	}
+	kv.closed = true
+	return kv.dev.Sync()
+}
+
+// VerifyRuns re-reads every run and checks its checksum; used by the
+// integrity experiments when the device is an untrusted cache.
+func (kv *KV) VerifyRuns() error {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	for i, r := range kv.runs {
+		if err := r.verify(kv.dev); err != nil {
+			return fmt.Errorf("storage: run %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (kv *KV) maybeFlushLocked() error {
+	if kv.mem.size() < kv.opts.MemtableBytes {
+		return nil
+	}
+	if err := kv.flushLocked(); err != nil {
+		return err
+	}
+	if kv.opts.MaxRuns > 0 && len(kv.runs) > kv.opts.MaxRuns {
+		return kv.compactLocked()
+	}
+	return nil
+}
+
+func (kv *KV) flushLocked() error {
+	if kv.mem.count() == 0 {
+		return nil
+	}
+	r, err := writeRun(kv.dev, kv.mem.all())
+	if err != nil {
+		return err
+	}
+	kv.runs = append(kv.runs, r)
+	kv.mem = newMemtable()
+	kv.stats.Flushes++
+	return nil
+}
+
+func (kv *KV) compactLocked() error {
+	merged, err := kv.mergedEntriesLocked(nil, nil)
+	if err != nil {
+		return err
+	}
+	live := merged[:0]
+	for _, e := range merged {
+		if !e.tombstone {
+			live = append(live, e)
+		}
+	}
+	kv.stats.Compactions++
+	if len(live) == 0 {
+		kv.runs = nil
+		kv.mem = newMemtable()
+		return nil
+	}
+	r, err := writeRun(kv.dev, live)
+	if err != nil {
+		return err
+	}
+	kv.runs = []*run{r}
+	kv.mem = newMemtable()
+	return nil
+}
+
+// mergedEntriesLocked merges the memtable and all runs into a single sorted
+// slice where newer versions shadow older ones. Tombstones are retained so
+// callers can decide whether to drop them.
+func (kv *KV) mergedEntriesLocked(start, end []byte) ([]memEntry, error) {
+	// Collect sources oldest → newest so that later inserts overwrite.
+	byKey := make(map[string]memEntry)
+	var order [][]byte
+	add := func(e memEntry) {
+		k := string(e.key)
+		if _, seen := byKey[k]; !seen {
+			order = append(order, e.key)
+		}
+		byKey[k] = e
+	}
+	for _, r := range kv.runs {
+		if err := r.scan(kv.dev, start, end, func(e memEntry) bool { add(e); return true }); err != nil {
+			return nil, err
+		}
+	}
+	kv.mem.scan(start, end, func(e memEntry) bool { add(e); return true })
+	out := make([]memEntry, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[string(k)])
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+func sortEntries(entries []memEntry) {
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+}

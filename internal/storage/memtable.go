@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"bytes"
+	"sort"
+)
+
+// memEntry is one key/value pair in the write buffer. A nil value (with
+// tombstone set) marks a deletion.
+type memEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// memtable is the RAM-resident write buffer of the LSM engine. It keeps
+// entries sorted by key and tracks its approximate memory footprint so the
+// engine can respect the hardware RAM budget.
+type memtable struct {
+	entries []memEntry
+	bytes   int
+}
+
+func newMemtable() *memtable {
+	return &memtable{}
+}
+
+// approxEntryOverhead accounts for slice headers and bookkeeping per entry.
+const approxEntryOverhead = 48
+
+// find returns the index at which key is or would be stored, and whether it
+// is present.
+func (m *memtable) find(key []byte) (int, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool {
+		return bytes.Compare(m.entries[i].key, key) >= 0
+	})
+	if i < len(m.entries) && bytes.Equal(m.entries[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// put inserts or replaces key with value (tombstone if delete).
+func (m *memtable) put(key, value []byte, tombstone bool) {
+	i, found := m.find(key)
+	e := memEntry{
+		key:       append([]byte(nil), key...),
+		value:     append([]byte(nil), value...),
+		tombstone: tombstone,
+	}
+	if found {
+		m.bytes -= len(m.entries[i].key) + len(m.entries[i].value) + approxEntryOverhead
+		m.entries[i] = e
+	} else {
+		m.entries = append(m.entries, memEntry{})
+		copy(m.entries[i+1:], m.entries[i:])
+		m.entries[i] = e
+	}
+	m.bytes += len(e.key) + len(e.value) + approxEntryOverhead
+}
+
+// get looks up key. The second result reports whether the key is present in
+// the memtable at all (possibly as a tombstone).
+func (m *memtable) get(key []byte) (memEntry, bool) {
+	i, found := m.find(key)
+	if !found {
+		return memEntry{}, false
+	}
+	return m.entries[i], true
+}
+
+// size returns the approximate RAM footprint in bytes.
+func (m *memtable) size() int { return m.bytes }
+
+// count returns the number of entries (including tombstones).
+func (m *memtable) count() int { return len(m.entries) }
+
+// scan calls fn for each entry with key in [start, end) in key order. A nil
+// end means "until the last key". Iteration stops when fn returns false.
+func (m *memtable) scan(start, end []byte, fn func(memEntry) bool) {
+	i := sort.Search(len(m.entries), func(i int) bool {
+		return bytes.Compare(m.entries[i].key, start) >= 0
+	})
+	for ; i < len(m.entries); i++ {
+		if end != nil && bytes.Compare(m.entries[i].key, end) >= 0 {
+			return
+		}
+		if !fn(m.entries[i]) {
+			return
+		}
+	}
+}
+
+// all returns the sorted entries; the caller must not modify them.
+func (m *memtable) all() []memEntry { return m.entries }

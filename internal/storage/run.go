@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// A run is an immutable sorted block of entries written sequentially to the
+// device. Runs are the on-flash representation of flushed memtables and of
+// compaction outputs.
+//
+// On-device layout of a run:
+//
+//	[4] crc32 over the body
+//	[4] body length
+//	body: repeated entries
+//	  [uvarint] key length
+//	  [uvarint] value length (0 for tombstones)
+//	  [1]       flags (bit 0 = tombstone)
+//	  [k]       key
+//	  [v]       value
+//
+// Each run keeps a sparse index in RAM: every sparseEvery-th key and its byte
+// offset inside the body, so a point lookup reads only a bounded slice of the
+// body. The sparse index is tiny (a few entries per run) which is what makes
+// the engine viable on a 64 KiB token.
+type run struct {
+	offset int64 // device offset of the body
+	length int   // body length in bytes
+	count  int   // number of entries
+	// sparse index: sorted by key.
+	indexKeys    [][]byte
+	indexOffsets []int
+	first, last  []byte
+}
+
+// sparseEvery controls the sparse index granularity.
+const sparseEvery = 16
+
+// runFlagTombstone marks deleted entries.
+const runFlagTombstone = 0x01
+
+// encodeEntry appends the encoding of (key, value, tombstone) to buf.
+func encodeEntry(buf []byte, key, value []byte, tombstone bool) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(key)))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	buf = append(buf, tmp[:n]...)
+	var flags byte
+	if tombstone {
+		flags |= runFlagTombstone
+	}
+	buf = append(buf, flags)
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// decodeEntry decodes one entry from b, returning the entry and the number of
+// bytes consumed.
+func decodeEntry(b []byte) (memEntry, int, error) {
+	klen, n1 := binary.Uvarint(b)
+	if n1 <= 0 {
+		return memEntry{}, 0, ErrCorrupt
+	}
+	vlen, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 {
+		return memEntry{}, 0, ErrCorrupt
+	}
+	pos := n1 + n2
+	if pos >= len(b) {
+		return memEntry{}, 0, ErrCorrupt
+	}
+	flags := b[pos]
+	pos++
+	end := pos + int(klen) + int(vlen)
+	if end > len(b) {
+		return memEntry{}, 0, ErrCorrupt
+	}
+	e := memEntry{
+		key:       append([]byte(nil), b[pos:pos+int(klen)]...),
+		value:     append([]byte(nil), b[pos+int(klen):end]...),
+		tombstone: flags&runFlagTombstone != 0,
+	}
+	return e, end, nil
+}
+
+// writeRun writes the sorted entries as a new run at the end of the device
+// and returns its descriptor.
+func writeRun(dev Device, entries []memEntry) (*run, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("storage: cannot write an empty run")
+	}
+	body := make([]byte, 0, 64*len(entries))
+	r := &run{count: len(entries)}
+	for i, e := range entries {
+		if i%sparseEvery == 0 {
+			r.indexKeys = append(r.indexKeys, append([]byte(nil), e.key...))
+			r.indexOffsets = append(r.indexOffsets, len(body))
+		}
+		body = encodeEntry(body, e.key, e.value, e.tombstone)
+	}
+	r.first = append([]byte(nil), entries[0].key...)
+	r.last = append([]byte(nil), entries[len(entries)-1].key...)
+	header := make([]byte, 8)
+	binary.BigEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint32(header[4:8], uint32(len(body)))
+	off := dev.Size()
+	if _, err := dev.WriteAt(header, off); err != nil {
+		return nil, fmt.Errorf("storage: write run header: %w", err)
+	}
+	if _, err := dev.WriteAt(body, off+8); err != nil {
+		return nil, fmt.Errorf("storage: write run body: %w", err)
+	}
+	r.offset = off + 8
+	r.length = len(body)
+	return r, nil
+}
+
+// verify re-reads the run body and checks its CRC.
+func (r *run) verify(dev Device) error {
+	header := make([]byte, 8)
+	if _, err := dev.ReadAt(header, r.offset-8); err != nil {
+		return fmt.Errorf("storage: run verify: %w", err)
+	}
+	want := binary.BigEndian.Uint32(header[0:4])
+	body := make([]byte, r.length)
+	if _, err := dev.ReadAt(body, r.offset); err != nil {
+		return fmt.Errorf("storage: run verify: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// mayContain is a cheap range check used to skip runs during lookups.
+func (r *run) mayContain(key []byte) bool {
+	return bytes.Compare(key, r.first) >= 0 && bytes.Compare(key, r.last) <= 0
+}
+
+// segmentFor returns the byte range [from, to) of the body that must be read
+// to find key, based on the sparse index.
+func (r *run) segmentFor(key []byte) (from, to int) {
+	i := sort.Search(len(r.indexKeys), func(i int) bool {
+		return bytes.Compare(r.indexKeys[i], key) > 0
+	})
+	// The segment starts at the previous index entry.
+	if i == 0 {
+		from = 0
+	} else {
+		from = r.indexOffsets[i-1]
+	}
+	if i < len(r.indexOffsets) {
+		to = r.indexOffsets[i]
+	} else {
+		to = r.length
+	}
+	return from, to
+}
+
+// get looks up key in the run. The bool reports whether the key was found
+// (possibly as a tombstone).
+func (r *run) get(dev Device, key []byte) (memEntry, bool, error) {
+	if !r.mayContain(key) {
+		return memEntry{}, false, nil
+	}
+	from, to := r.segmentFor(key)
+	seg := make([]byte, to-from)
+	if _, err := dev.ReadAt(seg, r.offset+int64(from)); err != nil {
+		return memEntry{}, false, fmt.Errorf("storage: run get: %w", err)
+	}
+	pos := 0
+	for pos < len(seg) {
+		e, n, err := decodeEntry(seg[pos:])
+		if err != nil {
+			return memEntry{}, false, err
+		}
+		cmp := bytes.Compare(e.key, key)
+		if cmp == 0 {
+			return e, true, nil
+		}
+		if cmp > 0 {
+			return memEntry{}, false, nil
+		}
+		pos += n
+	}
+	return memEntry{}, false, nil
+}
+
+// scan iterates over all entries of the run in key order with key in
+// [start, end) (nil end = unbounded), calling fn until it returns false.
+func (r *run) scan(dev Device, start, end []byte, fn func(memEntry) bool) error {
+	body := make([]byte, r.length)
+	if _, err := dev.ReadAt(body, r.offset); err != nil {
+		return fmt.Errorf("storage: run scan: %w", err)
+	}
+	pos := 0
+	for pos < len(body) {
+		e, n, err := decodeEntry(body[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(e.key, end) >= 0 {
+			return nil
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// allEntries loads the full run into memory; used by compaction.
+func (r *run) allEntries(dev Device) ([]memEntry, error) {
+	out := make([]memEntry, 0, r.count)
+	err := r.scan(dev, nil, nil, func(e memEntry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,308 @@
+// Package sync implements the synchronization of a user's personal digital
+// space across her trusted cells (the fixed home gateway, the portable
+// token, the smartphone) through the untrusted cloud, tolerating the weak and
+// intermittent connectivity the paper lists among its challenges
+// ("asynchrony problems must also be addressed").
+//
+// Each cell keeps a replica of the metadata catalog plus a per-document
+// revision counter. Synchronization is push/pull of sealed deltas through the
+// cloud; conflicts (the same document updated on two cells while
+// disconnected) are resolved deterministically by highest revision, then
+// lexicographically greatest replica ID, and are counted so experiments can
+// report them.
+package sync
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+)
+
+// Errors returned by the synchronizer.
+var (
+	ErrDisconnected = errors.New("sync: replica is disconnected")
+	ErrIntegrity    = errors.New("sync: replicated state failed integrity verification")
+)
+
+// VersionedDoc is a document plus its replication metadata.
+type VersionedDoc struct {
+	Doc      *datamodel.Document `json:"doc"`
+	Revision uint64              `json:"revision"`
+	Replica  string              `json:"replica"`
+	Updated  time.Time           `json:"updated"`
+	Deleted  bool                `json:"deleted"`
+}
+
+// state is the replicated catalog state.
+type state struct {
+	Docs map[string]VersionedDoc `json:"docs"`
+}
+
+// Replica is one cell's view of the replicated personal space.
+type Replica struct {
+	mu sync.Mutex
+
+	id        string
+	userID    string
+	key       crypto.SymmetricKey
+	cloud     cloud.Service
+	docs      map[string]VersionedDoc
+	connected bool
+	clock     func() time.Time
+
+	conflictsResolved int
+	pushes, pulls     int
+}
+
+// NewReplica creates a replica of userID's space named id (e.g.
+// "alice/gateway"). All replicas of a user derive the same sealing key from
+// the user's master secret, so the cloud only ever sees ciphertext.
+func NewReplica(id, userID string, key crypto.SymmetricKey, svc cloud.Service, clock func() time.Time) *Replica {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Replica{
+		id:        id,
+		userID:    userID,
+		key:       key,
+		cloud:     svc,
+		docs:      make(map[string]VersionedDoc),
+		connected: true,
+		clock:     clock,
+	}
+}
+
+// ID returns the replica identifier.
+func (r *Replica) ID() string { return r.id }
+
+// SetConnected toggles connectivity (weakly connected trusted sources).
+func (r *Replica) SetConnected(up bool) {
+	r.mu.Lock()
+	r.connected = up
+	r.mu.Unlock()
+}
+
+// Connected reports the current connectivity.
+func (r *Replica) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.connected
+}
+
+// Upsert records a local create/update of a document.
+func (r *Replica) Upsert(doc *datamodel.Document) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.docs[doc.ID]
+	r.docs[doc.ID] = VersionedDoc{
+		Doc:      doc.Clone(),
+		Revision: cur.Revision + 1,
+		Replica:  r.id,
+		Updated:  r.clock(),
+	}
+}
+
+// Delete records a local deletion (kept as a tombstone for replication).
+func (r *Replica) Delete(docID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.docs[docID]
+	r.docs[docID] = VersionedDoc{
+		Doc:      cur.Doc,
+		Revision: cur.Revision + 1,
+		Replica:  r.id,
+		Updated:  r.clock(),
+		Deleted:  true,
+	}
+}
+
+// Get returns the live document with the given ID, if present.
+func (r *Replica) Get(docID string) (*datamodel.Document, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.docs[docID]
+	if !ok || v.Deleted || v.Doc == nil {
+		return nil, false
+	}
+	return v.Doc.Clone(), true
+}
+
+// LiveCount returns the number of live (non-deleted) documents.
+func (r *Replica) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, v := range r.docs {
+		if !v.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// ConflictsResolved returns how many conflicting updates this replica has
+// resolved so far.
+func (r *Replica) ConflictsResolved() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conflictsResolved
+}
+
+// Traffic returns the number of pushes and pulls performed.
+func (r *Replica) Traffic() (pushes, pulls int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushes, r.pulls
+}
+
+func (r *Replica) blobName() string { return r.userID + "/syncstate" }
+
+// Push uploads the replica's sealed state to the cloud after merging with the
+// current remote state (so pushes from different replicas do not clobber each
+// other).
+func (r *Replica) Push() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.connected {
+		return ErrDisconnected
+	}
+	// Merge remote state first (read-modify-write).
+	if remote, err := r.fetchRemoteLocked(); err == nil {
+		r.mergeLocked(remote)
+	} else if err != ErrIntegrity && !errors.Is(err, cloud.ErrBlobNotFound) {
+		if errors.Is(err, cloud.ErrUnavailable) {
+			return ErrDisconnected
+		}
+		return err
+	} else if err == ErrIntegrity {
+		return err
+	}
+	payload, err := json.Marshal(state{Docs: r.docs})
+	if err != nil {
+		return fmt.Errorf("sync: encode state: %w", err)
+	}
+	sealed, err := crypto.Seal(r.key, payload, []byte("syncstate:"+r.userID))
+	if err != nil {
+		return fmt.Errorf("sync: seal state: %w", err)
+	}
+	if _, err := r.cloud.PutBlob(r.blobName(), sealed); err != nil {
+		if errors.Is(err, cloud.ErrUnavailable) {
+			return ErrDisconnected
+		}
+		return fmt.Errorf("sync: push: %w", err)
+	}
+	r.pushes++
+	return nil
+}
+
+// Pull downloads the sealed remote state and merges it into the replica.
+func (r *Replica) Pull() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.connected {
+		return ErrDisconnected
+	}
+	remote, err := r.fetchRemoteLocked()
+	if err != nil {
+		if errors.Is(err, cloud.ErrBlobNotFound) {
+			return nil // nothing pushed yet
+		}
+		if errors.Is(err, cloud.ErrUnavailable) {
+			return ErrDisconnected
+		}
+		return err
+	}
+	r.mergeLocked(remote)
+	r.pulls++
+	return nil
+}
+
+// Sync is Pull followed by Push.
+func (r *Replica) Sync() error {
+	if err := r.Pull(); err != nil {
+		return err
+	}
+	return r.Push()
+}
+
+func (r *Replica) fetchRemoteLocked() (map[string]VersionedDoc, error) {
+	blob, err := r.cloud.GetBlob(r.blobName())
+	if err != nil {
+		return nil, err
+	}
+	plain, ad, err := crypto.Open(r.key, blob.Data)
+	if err != nil {
+		return nil, ErrIntegrity
+	}
+	if string(ad) != "syncstate:"+r.userID {
+		return nil, ErrIntegrity
+	}
+	var st state
+	if err := json.Unmarshal(plain, &st); err != nil {
+		return nil, ErrIntegrity
+	}
+	return st.Docs, nil
+}
+
+// mergeLocked merges remote entries into the local map, resolving conflicts
+// deterministically.
+func (r *Replica) mergeLocked(remote map[string]VersionedDoc) {
+	for id, rv := range remote {
+		lv, exists := r.docs[id]
+		if !exists {
+			r.docs[id] = rv
+			continue
+		}
+		switch {
+		case rv.Revision > lv.Revision:
+			// Concurrent update we lost: count it as a conflict only if the
+			// local entry was authored by this replica and not yet seen
+			// remotely.
+			if lv.Replica == r.id && rv.Replica != r.id {
+				r.conflictsResolved++
+			}
+			r.docs[id] = rv
+		case rv.Revision == lv.Revision && rv.Replica != lv.Replica:
+			// True concurrent conflict: deterministic winner.
+			r.conflictsResolved++
+			if rv.Replica > lv.Replica {
+				r.docs[id] = rv
+			}
+		}
+	}
+}
+
+// DocIDs returns the sorted IDs of live documents (for convergence checks).
+func (r *Replica) DocIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []string
+	for id, v := range r.docs {
+		if !v.Deleted {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Equal reports whether two replicas have converged to the same live state.
+func Equal(a, b *Replica) bool {
+	aIDs, bIDs := a.DocIDs(), b.DocIDs()
+	if len(aIDs) != len(bIDs) {
+		return false
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			return false
+		}
+	}
+	return true
+}

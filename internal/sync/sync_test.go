@@ -1,0 +1,223 @@
+package sync
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+)
+
+var t0 = time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func doc(i int) *datamodel.Document {
+	return &datamodel.Document{
+		ID:        fmt.Sprintf("doc-%04d", i),
+		Owner:     "alice",
+		Type:      "note",
+		Class:     datamodel.ClassAuthored,
+		CreatedAt: t0,
+	}
+}
+
+func twoReplicas(svc cloud.Service) (*Replica, *Replica) {
+	key, _ := crypto.NewSymmetricKey()
+	a := NewReplica("alice/gateway", "alice", key, svc, func() time.Time { return t0 })
+	b := NewReplica("alice/phone", "alice", key, svc, func() time.Time { return t0 })
+	return a, b
+}
+
+func TestBasicConvergence(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	for i := 0; i < 5; i++ {
+		a.Upsert(doc(i))
+	}
+	for i := 5; i < 8; i++ {
+		b.Upsert(doc(i))
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("a.Sync: %v", err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("b.Sync: %v", err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatalf("a.Sync 2: %v", err)
+	}
+	if !Equal(a, b) {
+		t.Fatalf("replicas did not converge: %v vs %v", a.DocIDs(), b.DocIDs())
+	}
+	if a.LiveCount() != 8 {
+		t.Fatalf("LiveCount = %d, want 8", a.LiveCount())
+	}
+	pushes, pulls := a.Traffic()
+	if pushes == 0 || pulls == 0 {
+		t.Fatal("traffic counters not updated")
+	}
+}
+
+func TestDeleteReplication(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	a.Upsert(doc(1))
+	_ = a.Sync()
+	_ = b.Sync()
+	if _, ok := b.Get("doc-0001"); !ok {
+		t.Fatal("document did not replicate")
+	}
+	b.Delete("doc-0001")
+	_ = b.Sync()
+	_ = a.Sync()
+	if _, ok := a.Get("doc-0001"); ok {
+		t.Fatal("deletion did not replicate")
+	}
+	if a.LiveCount() != 0 {
+		t.Fatalf("LiveCount after delete = %d", a.LiveCount())
+	}
+}
+
+func TestConflictResolutionDeterministic(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	// Both replicas create the same document ID concurrently (revision 1 on
+	// both sides) with different titles.
+	d1 := doc(1)
+	d1.Title = "from gateway"
+	a.Upsert(d1)
+	d2 := doc(1)
+	d2.Title = "from phone"
+	b.Upsert(d2)
+
+	_ = a.Sync()
+	_ = b.Sync()
+	_ = a.Sync()
+
+	if !Equal(a, b) {
+		t.Fatal("replicas did not converge after conflict")
+	}
+	ga, _ := a.Get("doc-0001")
+	gb, _ := b.Get("doc-0001")
+	if ga.Title != gb.Title {
+		t.Fatalf("conflict resolved differently: %q vs %q", ga.Title, gb.Title)
+	}
+	// "alice/phone" > "alice/gateway" lexicographically, so the phone wins.
+	if ga.Title != "from phone" {
+		t.Fatalf("unexpected winner %q", ga.Title)
+	}
+	if a.ConflictsResolved()+b.ConflictsResolved() == 0 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+func TestDisconnectedReplicasCatchUp(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	b.SetConnected(false)
+	if b.Connected() {
+		t.Fatal("SetConnected(false) ignored")
+	}
+	for i := 0; i < 10; i++ {
+		a.Upsert(doc(i))
+	}
+	_ = a.Sync()
+	if err := b.Sync(); err != ErrDisconnected {
+		t.Fatalf("disconnected sync: %v", err)
+	}
+	if b.LiveCount() != 0 {
+		t.Fatal("disconnected replica received data")
+	}
+	b.SetConnected(true)
+	if err := b.Sync(); err != nil {
+		t.Fatalf("reconnect sync: %v", err)
+	}
+	if b.LiveCount() != 10 {
+		t.Fatalf("after reconnection LiveCount = %d", b.LiveCount())
+	}
+}
+
+func TestCloudOutageMapsToDisconnected(t *testing.T) {
+	svc := cloud.NewMemory()
+	svc.SetClock(func() time.Time { return t0 })
+	a, _ := twoReplicas(svc)
+	a.Upsert(doc(1))
+	svc.SetOutage(t0.Add(time.Hour))
+	if err := a.Push(); err != ErrDisconnected {
+		t.Fatalf("push during outage: %v", err)
+	}
+	if err := a.Pull(); err != ErrDisconnected {
+		t.Fatalf("pull during outage: %v", err)
+	}
+}
+
+func TestTamperedSyncStateDetected(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	a.Upsert(doc(1))
+	if err := a.Push(); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := svc.GetBlob("alice/syncstate")
+	blob.Data[len(blob.Data)-3] ^= 0x40
+	_, _ = svc.PutBlob("alice/syncstate", blob.Data)
+	if err := b.Pull(); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered sync state not detected: %v", err)
+	}
+}
+
+func TestRandomizedConvergenceUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	svc := cloud.NewMemory()
+	a, b := twoReplicas(svc)
+	replicas := []*Replica{a, b}
+	for step := 0; step < 400; step++ {
+		r := replicas[rng.Intn(2)]
+		switch rng.Intn(10) {
+		case 0:
+			r.SetConnected(false)
+		case 1:
+			r.SetConnected(true)
+		case 2:
+			r.Delete(fmt.Sprintf("doc-%04d", rng.Intn(50)))
+		case 3, 4:
+			_ = r.Sync() // may fail while disconnected; that is fine
+		default:
+			r.Upsert(doc(rng.Intn(50)))
+		}
+	}
+	// Reconnect everything and run a few sync rounds: must converge.
+	a.SetConnected(true)
+	b.SetConnected(true)
+	for i := 0; i < 3; i++ {
+		if err := a.Sync(); err != nil {
+			t.Fatalf("final a.Sync: %v", err)
+		}
+		if err := b.Sync(); err != nil {
+			t.Fatalf("final b.Sync: %v", err)
+		}
+	}
+	if !Equal(a, b) {
+		t.Fatalf("replicas did not converge after churn:\n a=%v\n b=%v", a.DocIDs(), b.DocIDs())
+	}
+}
+
+func TestGetMissingAndUnknownDelete(t *testing.T) {
+	svc := cloud.NewMemory()
+	a, _ := twoReplicas(svc)
+	if _, ok := a.Get("missing"); ok {
+		t.Fatal("missing document found")
+	}
+	// Deleting an unknown document creates a tombstone but no live doc.
+	a.Delete("ghost")
+	if a.LiveCount() != 0 {
+		t.Fatal("tombstone counted as live")
+	}
+	// Pull with no remote state is a no-op.
+	if err := a.Pull(); err != nil {
+		t.Fatalf("pull with no remote state: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package trustedcells is the public facade of the Trusted Cells library, a
+// reproduction of "Trusted Cells: A Sea Change for Personal Data Services"
+// (Anciaux, Bonnet, Bouganim, Nguyen, Sandu Popa, Pucheral — CIDR 2013).
+//
+// A trusted cell is a personal data server running on (simulated) secure
+// hardware at the edge of the network. It acquires personal data from trusted
+// sources, protects it cryptographically, stores the sealed payloads on an
+// untrusted cloud, and enforces the owner's access-control, usage-control and
+// accountability rules on every request — including requests arriving from
+// other cells with which data has been shared.
+//
+// The facade re-exports the types a downstream application needs: the Cell
+// itself, the untrusted infrastructure (in-memory and TCP), the data model,
+// policies, usage control, time-series tooling, trusted-source simulators,
+// the shared-commons protocols, and the experiment harness. Quick start:
+//
+//	svc := trustedcells.NewMemoryCloud()
+//	cell, err := trustedcells.NewCell(trustedcells.CellConfig{
+//		ID:    "alice-gateway",
+//		Class: trustedcells.ClassHomeGateway,
+//		Cloud: svc,
+//	})
+//	if err != nil { ... }
+//	doc, err := cell.Ingest(payload, trustedcells.IngestOptions{
+//		Class: trustedcells.ClassAuthored, Type: "photo", Title: "Holiday",
+//	})
+//
+// See examples/ for complete scenarios (the energy-butler smart-meter
+// deployment, pay-as-you-drive pricing, and an epidemiological shared
+// commons), and internal/sim for the experiment suite documented in
+// DESIGN.md and EXPERIMENTS.md.
+package trustedcells
+
+import (
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/commons"
+	"trustedcells/internal/core"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/sensor"
+	"trustedcells/internal/sim"
+	"trustedcells/internal/tamper"
+	"trustedcells/internal/timeseries"
+	"trustedcells/internal/ucon"
+)
+
+// Cell is a trusted cell: the user's personal data server (see core.Cell).
+type Cell = core.Cell
+
+// CellConfig configures a new cell.
+type CellConfig = core.Config
+
+// IngestOptions describe a document being acquired by a cell.
+type IngestOptions = core.IngestOptions
+
+// AccessContext carries requester-side context (credentials, purpose,
+// location, fulfilled obligations).
+type AccessContext = core.AccessContext
+
+// ShareOptions describe the terms of a secure share between cells.
+type ShareOptions = core.ShareOptions
+
+// Document is the metadata of one item of the personal data space.
+type Document = datamodel.Document
+
+// Query is a metadata query over a cell's catalog.
+type Query = datamodel.Query
+
+// Rule is one access-control rule; Condition restricts when it applies;
+// Action and Effect are its vocabulary; Credential is a signed attribute
+// statement presented by a requester.
+type (
+	Rule       = policy.Rule
+	Condition  = policy.Condition
+	Resource   = policy.Resource
+	Action     = policy.Action
+	Effect     = policy.Effect
+	Credential = policy.Credential
+)
+
+// UsagePolicy is a usage-control (UCON) policy attached to a document.
+type UsagePolicy = ucon.Policy
+
+// Series is an append-only time series; Granularity its reporting resolution.
+type (
+	Series      = timeseries.Series
+	Granularity = timeseries.Granularity
+	Point       = timeseries.Point
+)
+
+// CloudService is the untrusted infrastructure interface.
+type CloudService = cloud.Service
+
+// Hardware classes of the devices hosting cells.
+const (
+	ClassSecureToken    = tamper.ClassSecureToken
+	ClassSecureMCU      = tamper.ClassSecureMCU
+	ClassTrustZonePhone = tamper.ClassTrustZonePhone
+	ClassHomeGateway    = tamper.ClassHomeGateway
+)
+
+// Data provenance classes (paper's classification).
+const (
+	ClassSensed   = datamodel.ClassSensed
+	ClassExternal = datamodel.ClassExternal
+	ClassAuthored = datamodel.ClassAuthored
+)
+
+// Policy effects and actions.
+const (
+	EffectAllow     = policy.EffectAllow
+	EffectDeny      = policy.EffectDeny
+	ActionRead      = policy.ActionRead
+	ActionAggregate = policy.ActionAggregate
+	ActionWrite     = policy.ActionWrite
+	ActionShare     = policy.ActionShare
+	ActionDelete    = policy.ActionDelete
+)
+
+// Time-series granularities and aggregate kinds.
+const (
+	GranularitySecond = timeseries.GranularitySecond
+	GranularityMinute = timeseries.GranularityMinute
+	Granularity15Min  = timeseries.Granularity15Min
+	GranularityHour   = timeseries.GranularityHour
+	GranularityDay    = timeseries.GranularityDay
+	AggregateMean     = timeseries.AggregateMean
+	AggregateSum      = timeseries.AggregateSum
+	AggregateMax      = timeseries.AggregateMax
+	AggregateMin      = timeseries.AggregateMin
+)
+
+// NewCell creates, provisions and unlocks a trusted cell.
+func NewCell(cfg CellConfig) (*Cell, error) { return core.New(cfg) }
+
+// NewPairingSecret generates a pairing secret to install on two cells that
+// want to exchange data securely.
+func NewPairingSecret() (crypto.SymmetricKey, error) { return core.NewPairingSecret() }
+
+// NewMemoryCloud creates an in-process honest untrusted-infrastructure
+// service, suitable for tests, examples and simulations.
+func NewMemoryCloud() *cloud.Memory { return cloud.NewMemory() }
+
+// DialCloud connects to a tccloud server over TCP and returns a CloudService.
+func DialCloud(addr string) (CloudService, error) { return cloud.Dial(addr) }
+
+// NewSeries creates an empty time series with a name and unit.
+func NewSeries(name, unit string) *Series { return timeseries.NewSeries(name, unit) }
+
+// IssueCredential signs an attribute credential (issuer side).
+func IssueCredential(issuerID string, issuer *crypto.SigningKey, subjectID, attribute, value string,
+	issuedAt, expiresAt time.Time) *Credential {
+	return policy.IssueCredential(issuerID, issuer, subjectID, attribute, value, issuedAt, expiresAt)
+}
+
+// NewSigningKey generates an issuer signing key.
+func NewSigningKey() (*crypto.SigningKey, error) { return crypto.NewSigningKey() }
+
+// GenerateHousehold produces a synthetic 1 Hz household power trace with
+// ground-truth appliance activations (see internal/sensor).
+func GenerateHousehold(start time.Time, duration time.Duration, seed int64) (*sensor.HouseholdTrace, error) {
+	cfg := sensor.DefaultHouseholdConfig(start, seed)
+	cfg.Duration = duration
+	return sensor.GenerateHousehold(cfg)
+}
+
+// GenerateTrip produces a synthetic GPS trip for the pay-as-you-drive
+// scenario.
+func GenerateTrip(id string, start time.Time, seed int64) (*sensor.Trip, error) {
+	return sensor.GenerateTrip(id, sensor.DefaultTripConfig(start, seed))
+}
+
+// ComputeRoadPricing runs the road-pricing aggregate over a raw trip.
+func ComputeRoadPricing(t *sensor.Trip) sensor.RoadPricingSummary {
+	return sensor.ComputeRoadPricing(t, sensor.DefaultPricing())
+}
+
+// SecureSum runs a shared-commons secure aggregation over participant values.
+func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregators int) (*commons.AggregationResult, error) {
+	proto := commons.PureSMC
+	if cloudAssisted {
+		proto = commons.CloudAssisted
+	}
+	return commons.SecureSum(participants, proto, aggregators)
+}
+
+// Participant is one cell contributing to a shared-commons computation.
+type Participant = commons.Participant
+
+// RunExperiment runs one of the DESIGN.md experiments (e1..e8, fig1) with its
+// default configuration and returns the result table.
+func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return sim.ExperimentIDs() }

@@ -1,0 +1,92 @@
+package trustedcells
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+var start = time.Date(2013, 1, 7, 0, 0, 0, 0, time.UTC)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	svc := NewMemoryCloud()
+	cell, err := NewCell(CellConfig{ID: "alice-gw", Class: ClassHomeGateway, Cloud: svc,
+		Seed: []byte("alice"), Clock: func() time.Time { return start }})
+	if err != nil {
+		t.Fatalf("NewCell: %v", err)
+	}
+	doc, err := cell.Ingest([]byte("hello personal cloud"), IngestOptions{
+		Class: ClassAuthored, Type: "note", Title: "first note", Keywords: []string{"hello"}})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := cell.AddRule(Rule{ID: "self", Effect: EffectAllow, SubjectIDs: []string{"alice"},
+		Actions: []Action{ActionRead}}); err != nil {
+		t.Fatalf("AddRule: %v", err)
+	}
+	got, err := cell.Read("alice", doc.ID, AccessContext{})
+	if err != nil || !bytes.Equal(got, []byte("hello personal cloud")) {
+		t.Fatalf("Read: %q %v", got, err)
+	}
+	docs, err := cell.Search(Query{Keyword: "hello"})
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("Search: %v %v", docs, err)
+	}
+}
+
+func TestFacadeSeriesAndSensors(t *testing.T) {
+	trace, err := GenerateHousehold(start, time.Hour, 1)
+	if err != nil || trace.Power.Len() != 3600 {
+		t.Fatalf("GenerateHousehold: %v", err)
+	}
+	trip, err := GenerateTrip("commute", start, 2)
+	if err != nil || len(trip.Positions) == 0 {
+		t.Fatalf("GenerateTrip: %v", err)
+	}
+	summary := ComputeRoadPricing(trip)
+	if summary.Fee <= 0 {
+		t.Fatalf("ComputeRoadPricing fee = %v", summary.Fee)
+	}
+	s := NewSeries("power", "W")
+	if s.Name() != "power" {
+		t.Fatal("NewSeries name lost")
+	}
+}
+
+func TestFacadeCommonsAndExperiments(t *testing.T) {
+	parts := []Participant{{ID: "a", Value: 10}, {ID: "b", Value: 32}}
+	res, err := SecureSum(parts, true, 2)
+	if err != nil || res.Sum != 42 {
+		t.Fatalf("SecureSum: %+v %v", res, err)
+	}
+	res, err = SecureSum(parts, false, 0)
+	if err != nil || res.Sum != 42 {
+		t.Fatalf("SecureSum SMC: %+v %v", res, err)
+	}
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments")
+	}
+	table, err := RunExperiment("e8")
+	if err != nil || len(table.Rows) == 0 {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if _, err := RunExperiment("bogus"); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestFacadeCredentials(t *testing.T) {
+	issuer, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := IssueCredential("hospital", issuer, "bob", "role", "physician", start, start.Add(time.Hour))
+	if cred.SubjectID != "bob" || cred.Attribute != "role" {
+		t.Fatalf("credential %+v", cred)
+	}
+	secret, err := NewPairingSecret()
+	if err != nil || secret.IsZero() {
+		t.Fatalf("NewPairingSecret: %v", err)
+	}
+}
