@@ -2,7 +2,7 @@ package trustedcells
 
 // This file holds one benchmark per experiment of the evaluation suite
 // defined in DESIGN.md (the paper itself, a vision paper, has no tables or
-// figures; E1–E8 and the Figure 1 walk-through are the synthetic suite that
+// figures; E1–E9 and the Figure 1 walk-through are the synthetic suite that
 // substantiates each architectural claim). The same code paths back
 // cmd/tcbench, which prints the full tables; the benchmarks here measure the
 // cost of regenerating each experiment and keep them exercised by
@@ -120,6 +120,35 @@ func BenchmarkE8CommonsUtility(b *testing.B) {
 		if _, err := sim.RunE8(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE9FleetThroughput measures experiment E9 at 16 concurrent cells:
+// ingest throughput of the sequential path (per-document Ingest against the
+// historical single-mutex store, one round-trip per blob) versus the
+// sharded/batched path (IngestBatch flushing through cloud.BatchService
+// against the sharded store). The measured ops/sec of both paths and their
+// ratio are attached as benchmark metrics; EXPERIMENTS.md records the
+// reference numbers. The sharded/batched path is expected to sustain at
+// least 2x the sequential throughput.
+func BenchmarkE9FleetThroughput(b *testing.B) {
+	cfg := sim.DefaultE9Config()
+	const cells = 16
+	var seqOps, batOps float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE9Fleet(cfg, cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqOps += res.SequentialOps
+		batOps += res.BatchedOps
+	}
+	seqOps /= float64(b.N)
+	batOps /= float64(b.N)
+	b.ReportMetric(seqOps, "seq-ops/sec")
+	b.ReportMetric(batOps, "batched-ops/sec")
+	if seqOps > 0 {
+		b.ReportMetric(batOps/seqOps, "speedup")
 	}
 }
 

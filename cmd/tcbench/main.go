@@ -1,8 +1,9 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E8) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E9) plus the Figure 1 architecture walk-through.
 //
 //	tcbench -experiment all          # run everything
 //	tcbench -experiment e4           # one experiment
+//	tcbench -experiment e9           # fleet throughput, sequential vs sharded/batched
 //	tcbench -experiment fig1 -out report.txt
 package main
 
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e8, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e9, fig1) or 'all'")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 	)
 	flag.Parse()

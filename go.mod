@@ -1,0 +1,3 @@
+module trustedcells
+
+go 1.22

@@ -1,0 +1,69 @@
+package cloud
+
+// This file defines the optional batch extension of Service. A fleet of edge
+// cells talking to a shared remote provider is dominated by round-trips, not
+// by bytes: uploading a vault one blob at a time costs one RTT per blob. The
+// batch API lets a cell hand the provider many blobs in a single exchange;
+// implementations that can exploit it (the sharded Memory, the pipelined TCP
+// client) advertise it by implementing BatchService, and the PutBlobsVia /
+// GetBlobsVia helpers degrade gracefully to per-blob calls on any other
+// Service.
+
+// BlobPut is one named payload of a batched upload.
+type BlobPut struct {
+	Name string `json:"name"`
+	Data []byte `json:"data"`
+}
+
+// BatchService is the optional batch extension of Service. Callers should not
+// type-assert it themselves; PutBlobsVia and GetBlobsVia pick the fast path
+// when it exists.
+type BatchService interface {
+	// PutBlobs stores every blob and returns the new version of each, in
+	// argument order. The whole batch shares one round-trip.
+	PutBlobs(puts []BlobPut) ([]int, error)
+	// GetBlobs returns the latest version of each named blob in argument
+	// order. Missing names yield a zero Blob (Version 0) at their position;
+	// only service-level failures return an error.
+	GetBlobs(names []string) ([]Blob, error)
+}
+
+// PutBlobsVia uploads a batch of blobs through svc, using the BatchService
+// fast path when svc implements it and falling back to sequential PutBlob
+// calls otherwise. The fallback stops at the first error.
+func PutBlobsVia(svc Service, puts []BlobPut) ([]int, error) {
+	if bs, ok := svc.(BatchService); ok {
+		return bs.PutBlobs(puts)
+	}
+	versions := make([]int, len(puts))
+	for i, p := range puts {
+		v, err := svc.PutBlob(p.Name, p.Data)
+		if err != nil {
+			return nil, err
+		}
+		versions[i] = v
+	}
+	return versions, nil
+}
+
+// GetBlobsVia fetches a batch of blobs through svc, using the BatchService
+// fast path when svc implements it and falling back to sequential GetBlob
+// calls otherwise. In the fallback, a missing blob yields a zero Blob at its
+// position, matching BatchService semantics; other errors abort the batch.
+func GetBlobsVia(svc Service, names []string) ([]Blob, error) {
+	if bs, ok := svc.(BatchService); ok {
+		return bs.GetBlobs(names)
+	}
+	blobs := make([]Blob, len(names))
+	for i, name := range names {
+		b, err := svc.GetBlob(name)
+		if err == ErrBlobNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = b
+	}
+	return blobs, nil
+}

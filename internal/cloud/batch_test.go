@@ -1,0 +1,216 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutBlobsVersionsInOrder(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.PutBlob("warm", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	puts := []BlobPut{
+		{Name: "a", Data: []byte("aa")},
+		{Name: "warm", Data: []byte("v2")},
+		{Name: "b", Data: []byte("bb")},
+	}
+	versions, err := m.PutBlobs(puts)
+	if err != nil {
+		t.Fatalf("PutBlobs: %v", err)
+	}
+	if len(versions) != 3 || versions[0] != 1 || versions[1] != 2 || versions[2] != 1 {
+		t.Fatalf("versions = %v", versions)
+	}
+	b, err := m.GetBlob("warm")
+	if err != nil || string(b.Data) != "v2" {
+		t.Fatalf("after batch put: %v %v", b, err)
+	}
+}
+
+func TestGetBlobsMissingYieldZeroBlob(t *testing.T) {
+	m := NewMemory()
+	_, _ = m.PutBlob("present", []byte("here"))
+	blobs, err := m.GetBlobs([]string{"missing", "present", "also-missing"})
+	if err != nil {
+		t.Fatalf("GetBlobs: %v", err)
+	}
+	if len(blobs) != 3 {
+		t.Fatalf("blobs = %d", len(blobs))
+	}
+	if blobs[0].Version != 0 || blobs[2].Version != 0 {
+		t.Fatalf("missing blobs should be zero: %+v", blobs)
+	}
+	if blobs[1].Version != 1 || !bytes.Equal(blobs[1].Data, []byte("here")) {
+		t.Fatalf("present blob: %+v", blobs[1])
+	}
+}
+
+func TestBatchAcrossManyShards(t *testing.T) {
+	m := NewMemoryShards(8)
+	n := 200
+	puts := make([]BlobPut, n)
+	names := make([]string, n)
+	for i := range puts {
+		names[i] = fmt.Sprintf("vault/blob-%04d", i)
+		puts[i] = BlobPut{Name: names[i], Data: []byte(names[i])}
+	}
+	if _, err := m.PutBlobs(puts); err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := m.GetBlobs(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blobs {
+		if !bytes.Equal(b.Data, []byte(names[i])) {
+			t.Fatalf("blob %d round-trip: %q", i, b.Data)
+		}
+	}
+	st := m.Stats()
+	if st.Puts != int64(n) || st.Gets != int64(n) {
+		t.Fatalf("batch ops must count per blob: %+v", st)
+	}
+}
+
+// fullService hides Memory's BatchService implementation so the Via helpers
+// exercise their sequential fallback.
+type fullService struct{ inner *Memory }
+
+func (f fullService) PutBlob(name string, data []byte) (int, error) {
+	return f.inner.PutBlob(name, data)
+}
+func (f fullService) GetBlob(name string) (Blob, error)            { return f.inner.GetBlob(name) }
+func (f fullService) DeleteBlob(name string) error                 { return f.inner.DeleteBlob(name) }
+func (f fullService) ListBlobs(prefix string) ([]string, error)    { return f.inner.ListBlobs(prefix) }
+func (f fullService) Send(msg Message) error                       { return f.inner.Send(msg) }
+func (f fullService) Receive(r string, max int) ([]Message, error) { return f.inner.Receive(r, max) }
+func (f fullService) Stats() Stats                                 { return f.inner.Stats() }
+
+func TestViaHelpersFallBackWithoutBatchService(t *testing.T) {
+	svc := fullService{inner: NewMemory()}
+	if _, ok := Service(svc).(BatchService); ok {
+		t.Fatal("test double must not implement BatchService")
+	}
+	versions, err := PutBlobsVia(svc, []BlobPut{{Name: "x", Data: []byte("1")}, {Name: "x", Data: []byte("2")}})
+	if err != nil || len(versions) != 2 || versions[1] != 2 {
+		t.Fatalf("PutBlobsVia fallback: %v %v", versions, err)
+	}
+	blobs, err := GetBlobsVia(svc, []string{"x", "missing"})
+	if err != nil {
+		t.Fatalf("GetBlobsVia fallback: %v", err)
+	}
+	if string(blobs[0].Data) != "2" || blobs[1].Version != 0 {
+		t.Fatalf("fallback blobs: %+v", blobs)
+	}
+}
+
+// TestShardedMemoryConcurrentStress hammers every operation of the sharded
+// store from many goroutines. Run under -race (the CI does) it is the
+// regression test for the lock-striping refactor; without -race it still
+// verifies the final state and counters add up.
+func TestShardedMemoryConcurrentStress(t *testing.T) {
+	m := NewMemory()
+	const (
+		workers      = 16
+		blobsPerWork = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prefix := fmt.Sprintf("cell-%02d", w)
+			for i := 0; i < blobsPerWork; i++ {
+				name := fmt.Sprintf("%s/vault/doc-%03d", prefix, i)
+				if _, err := m.PutBlob(name, []byte(name)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if i%4 == 0 {
+					puts := []BlobPut{
+						{Name: name, Data: []byte("v2")},
+						{Name: name + "-side", Data: []byte("side")},
+					}
+					if _, err := m.PutBlobs(puts); err != nil {
+						t.Errorf("batch put: %v", err)
+						return
+					}
+				}
+				if _, err := m.GetBlob(name); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if _, err := m.GetBlobs([]string{name, "nope"}); err != nil {
+					t.Errorf("batch get: %v", err)
+					return
+				}
+				if err := m.Send(Message{From: prefix, To: fmt.Sprintf("cell-%02d", (w+1)%workers), Body: []byte("ping")}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				if _, err := m.Receive(prefix, 4); err != nil {
+					t.Errorf("receive: %v", err)
+					return
+				}
+				if i%8 == 0 {
+					if _, err := m.ListBlobs(prefix); err != nil {
+						t.Errorf("list: %v", err)
+						return
+					}
+					if err := m.DeleteBlob(name + "-gone"); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := m.Stats()
+	wantPuts := int64(workers * (blobsPerWork + 2*(blobsPerWork/4)))
+	if st.Puts != wantPuts {
+		t.Fatalf("Puts = %d, want %d", st.Puts, wantPuts)
+	}
+	if st.Sends != int64(workers*blobsPerWork) {
+		t.Fatalf("Sends = %d", st.Sends)
+	}
+	names, err := m.ListBlobs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every worker left blobsPerWork main blobs plus blobsPerWork/4 side blobs.
+	want := workers * (blobsPerWork + blobsPerWork/4)
+	if len(names) != want {
+		t.Fatalf("final blob count = %d, want %d", len(names), want)
+	}
+}
+
+func TestSingleShardMatchesDefault(t *testing.T) {
+	for _, shards := range []int{1, 4, DefaultShards} {
+		m := NewMemoryShards(shards)
+		if m.ShardCount() != shards {
+			t.Fatalf("ShardCount = %d, want %d", m.ShardCount(), shards)
+		}
+		for i := 0; i < 50; i++ {
+			name := fmt.Sprintf("doc-%02d", i)
+			if _, err := m.PutBlob(name, []byte(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names, err := m.ListBlobs("")
+		if err != nil || len(names) != 50 {
+			t.Fatalf("shards=%d: list %d %v", shards, len(names), err)
+		}
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				t.Fatalf("shards=%d: names not sorted", shards)
+			}
+		}
+	}
+}

@@ -8,15 +8,16 @@
 // with, replay or drop data as long as it cannot be convicted. The package
 // therefore lets tests and experiments inject adversarial behaviours and
 // verifies that cells detect every integrity violation.
+//
+// The in-memory implementation is sharded (see Memory) so that a fleet of
+// concurrent cells does not serialize behind a single lock, and exposes a
+// batch API (see BatchService) that amortizes one network round-trip over
+// many blobs. DESIGN.md documents both; experiment E9 measures them.
 package cloud
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 )
 
@@ -124,221 +125,4 @@ type AdversaryConfig struct {
 	DropRate   float64
 	// Seed makes the adversary deterministic for reproducible experiments.
 	Seed int64
-}
-
-// Memory is an in-process implementation of Service with adversary
-// injection. It is the substrate for simulations; the TCP server in this
-// package exposes the same behaviour over the network.
-type Memory struct {
-	mu        sync.Mutex
-	blobs     map[string]Blob
-	history   map[string][]Blob // previous versions, used by the replaying adversary
-	mailboxes map[string][]Message
-	nextMsg   uint64
-	stats     Stats
-	adv       AdversaryConfig
-	rng       *rand.Rand
-	// observations collected by an honest-but-curious adversary.
-	observations [][]byte
-	// unavailableUntil simulates outages.
-	unavailableUntil time.Time
-	now              func() time.Time
-}
-
-// NewMemory creates an honest in-memory cloud service.
-func NewMemory() *Memory {
-	return NewMemoryWithAdversary(AdversaryConfig{Mode: Honest, Seed: 1})
-}
-
-// NewMemoryWithAdversary creates a service with the given adversarial
-// behaviour.
-func NewMemoryWithAdversary(cfg AdversaryConfig) *Memory {
-	return &Memory{
-		blobs:     make(map[string]Blob),
-		history:   make(map[string][]Blob),
-		mailboxes: make(map[string][]Message),
-		adv:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		now:       time.Now,
-	}
-}
-
-// SetClock overrides the service clock (used by simulations).
-func (m *Memory) SetClock(now func() time.Time) {
-	m.mu.Lock()
-	m.now = now
-	m.mu.Unlock()
-}
-
-// SetOutage makes the service return ErrUnavailable until t.
-func (m *Memory) SetOutage(until time.Time) {
-	m.mu.Lock()
-	m.unavailableUntil = until
-	m.mu.Unlock()
-}
-
-func (m *Memory) availableLocked() error {
-	if !m.unavailableUntil.IsZero() && m.now().Before(m.unavailableUntil) {
-		return ErrUnavailable
-	}
-	return nil
-}
-
-// PutBlob stores data under name.
-func (m *Memory) PutBlob(name string, data []byte) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return 0, err
-	}
-	m.stats.Puts++
-	m.stats.BytesStored += int64(len(data))
-
-	if m.adv.Mode == Dropping && m.rng.Float64() < m.adv.DropRate {
-		// Pretend success but do not store: a silently lossy provider.
-		m.stats.DroppedBlobs++
-		old := m.blobs[name]
-		return old.Version + 1, nil
-	}
-
-	stored := append([]byte(nil), data...)
-	if m.adv.Mode == Tampering && m.rng.Float64() < m.adv.TamperRate && len(stored) > 0 {
-		stored[m.rng.Intn(len(stored))] ^= 0xFF
-		m.stats.TamperedBlobs++
-	}
-	if m.adv.Mode == HonestButCurious {
-		m.observations = append(m.observations, append([]byte(nil), data...))
-		m.stats.ObservedBlobs++
-	}
-
-	old, exists := m.blobs[name]
-	if exists {
-		m.history[name] = append(m.history[name], old)
-	}
-	b := Blob{Name: name, Version: old.Version + 1, Data: stored, Stored: m.now()}
-	m.blobs[name] = b
-	return b.Version, nil
-}
-
-// GetBlob returns the latest (or, for a replaying adversary, possibly a
-// stale) version of the blob.
-func (m *Memory) GetBlob(name string) (Blob, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return Blob{}, err
-	}
-	m.stats.Gets++
-	b, ok := m.blobs[name]
-	if !ok {
-		return Blob{}, ErrBlobNotFound
-	}
-	if m.adv.Mode == Replaying && len(m.history[name]) > 0 && m.rng.Float64() < m.adv.ReplayRate {
-		m.stats.ReplayedBlobs++
-		old := m.history[name][m.rng.Intn(len(m.history[name]))]
-		return cloneBlob(old), nil
-	}
-	return cloneBlob(b), nil
-}
-
-func cloneBlob(b Blob) Blob {
-	c := b
-	c.Data = append([]byte(nil), b.Data...)
-	return c
-}
-
-// DeleteBlob removes a blob (idempotent).
-func (m *Memory) DeleteBlob(name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return err
-	}
-	m.stats.Deletes++
-	delete(m.blobs, name)
-	delete(m.history, name)
-	return nil
-}
-
-// ListBlobs returns the stored blob names with the given prefix.
-func (m *Memory) ListBlobs(prefix string) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return nil, err
-	}
-	m.stats.Lists++
-	var names []string
-	for n := range m.blobs {
-		if strings.HasPrefix(n, prefix) {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-// Send delivers a message to the recipient's mailbox.
-func (m *Memory) Send(msg Message) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return err
-	}
-	m.stats.Sends++
-	if m.adv.Mode == Dropping && m.rng.Float64() < m.adv.DropRate {
-		m.stats.DroppedMessages++
-		return nil
-	}
-	m.nextMsg++
-	msg.Seq = m.nextMsg
-	if msg.ID == "" {
-		msg.ID = fmt.Sprintf("msg-%08d", m.nextMsg)
-	}
-	if msg.Sent.IsZero() {
-		msg.Sent = m.now()
-	}
-	msg.Body = append([]byte(nil), msg.Body...)
-	m.mailboxes[msg.To] = append(m.mailboxes[msg.To], msg)
-	return nil
-}
-
-// Receive pops up to max messages from the recipient's mailbox in FIFO order.
-func (m *Memory) Receive(recipient string, max int) ([]Message, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.availableLocked(); err != nil {
-		return nil, err
-	}
-	m.stats.Receives++
-	box := m.mailboxes[recipient]
-	if len(box) == 0 {
-		return nil, nil
-	}
-	if max <= 0 || max > len(box) {
-		max = len(box)
-	}
-	out := make([]Message, max)
-	copy(out, box[:max])
-	m.mailboxes[recipient] = box[max:]
-	return out, nil
-}
-
-// Stats returns a snapshot of the service counters.
-func (m *Memory) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
-
-// Observations returns what an honest-but-curious provider captured. The
-// confidentiality tests assert that none of it is plaintext.
-func (m *Memory) Observations() [][]byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([][]byte, len(m.observations))
-	for i, o := range m.observations {
-		out[i] = append([]byte(nil), o...)
-	}
-	return out
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 )
 
@@ -16,13 +17,15 @@ import (
 
 // rpcRequest is the wire format of a request.
 type rpcRequest struct {
-	Op        string  `json:"op"`
-	Name      string  `json:"name,omitempty"`
-	Data      []byte  `json:"data,omitempty"`
-	Prefix    string  `json:"prefix,omitempty"`
-	Recipient string  `json:"recipient,omitempty"`
-	Max       int     `json:"max,omitempty"`
-	Message   Message `json:"message,omitempty"`
+	Op        string    `json:"op"`
+	Name      string    `json:"name,omitempty"`
+	Data      []byte    `json:"data,omitempty"`
+	Prefix    string    `json:"prefix,omitempty"`
+	Recipient string    `json:"recipient,omitempty"`
+	Max       int       `json:"max,omitempty"`
+	Message   Message   `json:"message,omitempty"`
+	Puts      []BlobPut `json:"puts,omitempty"`
+	Names     []string  `json:"names,omitempty"`
 }
 
 // rpcResponse is the wire format of a response.
@@ -33,6 +36,8 @@ type rpcResponse struct {
 	Names    []string  `json:"names,omitempty"`
 	Messages []Message `json:"messages,omitempty"`
 	Stats    *Stats    `json:"stats,omitempty"`
+	Versions []int     `json:"versions,omitempty"`
+	Blobs    []Blob    `json:"blobs,omitempty"`
 }
 
 // Server serves a Service over a listener.
@@ -120,6 +125,14 @@ func (s *Server) dispatch(req rpcRequest) rpcResponse {
 		names, err := s.svc.ListBlobs(req.Prefix)
 		resp.Names = names
 		resp.Err = errString(err)
+	case "putb":
+		versions, err := PutBlobsVia(s.svc, req.Puts)
+		resp.Versions = versions
+		resp.Err = errString(err)
+	case "getb":
+		blobs, err := GetBlobsVia(s.svc, req.Names)
+		resp.Blobs = blobs
+		resp.Err = errString(err)
 	case "send":
 		resp.Err = errString(s.svc.Send(req.Message))
 	case "receive":
@@ -179,6 +192,34 @@ func (c *Client) call(req rpcRequest) (rpcResponse, error) {
 	return resp, nil
 }
 
+// pipeline writes every request before reading the first response, so the
+// whole slice shares the connection's round-trip instead of paying one per
+// request. The server handles a connection sequentially, which guarantees
+// responses come back in request order.
+func (c *Client) pipeline(reqs []rpcRequest) ([]rpcResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range reqs {
+		if err := c.enc.Encode(&reqs[i]); err != nil {
+			return nil, fmt.Errorf("cloud: rpc pipeline send: %w", err)
+		}
+	}
+	resps := make([]rpcResponse, len(reqs))
+	for i := range resps {
+		if err := c.dec.Decode(&resps[i]); err != nil {
+			return nil, fmt.Errorf("cloud: rpc pipeline receive: %w", err)
+		}
+	}
+	return resps, nil
+}
+
+// unknownOp reports whether a response error means the server predates the
+// requested operation, in which case the client degrades to pipelined
+// single-blob requests.
+func unknownOp(resp rpcResponse) bool {
+	return strings.Contains(resp.Err, "unknown op")
+}
+
 func respError(resp rpcResponse) error {
 	switch resp.Err {
 	case "":
@@ -232,6 +273,84 @@ func (c *Client) ListBlobs(prefix string) ([]string, error) {
 		return nil, err
 	}
 	return resp.Names, respError(resp)
+}
+
+// PutBlobs implements BatchService over the wire: the whole batch is one
+// request/response exchange. If the server predates the batch protocol, the
+// client falls back to pipelining one request per blob over the persistent
+// connection, which still collapses N round-trips into one.
+func (c *Client) PutBlobs(puts []BlobPut) ([]int, error) {
+	resp, err := c.call(rpcRequest{Op: "putb", Puts: puts})
+	if err != nil {
+		return nil, err
+	}
+	if !unknownOp(resp) {
+		if err := respError(resp); err != nil {
+			return nil, err
+		}
+		// The provider is untrusted: never hand positional callers a slice
+		// whose length the server chose.
+		if len(resp.Versions) != len(puts) {
+			return nil, fmt.Errorf("cloud: batch put: server returned %d versions for %d blobs", len(resp.Versions), len(puts))
+		}
+		return resp.Versions, nil
+	}
+	reqs := make([]rpcRequest, len(puts))
+	for i, p := range puts {
+		reqs[i] = rpcRequest{Op: "put", Name: p.Name, Data: p.Data}
+	}
+	resps, err := c.pipeline(reqs)
+	if err != nil {
+		return nil, err
+	}
+	versions := make([]int, len(resps))
+	for i, r := range resps {
+		if err := respError(r); err != nil {
+			return nil, err
+		}
+		versions[i] = r.Version
+	}
+	return versions, nil
+}
+
+// GetBlobs implements BatchService over the wire, with the same pipelined
+// fallback as PutBlobs. Missing blobs yield a zero Blob at their position.
+func (c *Client) GetBlobs(names []string) ([]Blob, error) {
+	resp, err := c.call(rpcRequest{Op: "getb", Names: names})
+	if err != nil {
+		return nil, err
+	}
+	if !unknownOp(resp) {
+		if err := respError(resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Blobs) != len(names) {
+			return nil, fmt.Errorf("cloud: batch get: server returned %d blobs for %d names", len(resp.Blobs), len(names))
+		}
+		return resp.Blobs, nil
+	}
+	reqs := make([]rpcRequest, len(names))
+	for i, name := range names {
+		reqs[i] = rpcRequest{Op: "get", Name: name}
+	}
+	resps, err := c.pipeline(reqs)
+	if err != nil {
+		return nil, err
+	}
+	blobs := make([]Blob, len(resps))
+	for i, r := range resps {
+		err := respError(r)
+		if err == ErrBlobNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.Blob != nil {
+			blobs[i] = *r.Blob
+		}
+	}
+	return blobs, nil
 }
 
 // Send implements Service.

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"testing"
 )
@@ -92,6 +93,68 @@ func TestTCPMultipleClients(t *testing.T) {
 	b, err := clientB.GetBlob("shared")
 	if err != nil || string(b.Data) != "from-a" {
 		t.Fatalf("cross-client read: %v %v", b, err)
+	}
+}
+
+func TestTCPBatchRoundTrip(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+
+	puts := make([]BlobPut, 20)
+	names := make([]string, 20)
+	for i := range puts {
+		names[i] = fmt.Sprintf("fleet/blob-%02d", i)
+		puts[i] = BlobPut{Name: names[i], Data: []byte(names[i])}
+	}
+	versions, err := client.PutBlobs(puts)
+	if err != nil {
+		t.Fatalf("PutBlobs over TCP: %v", err)
+	}
+	for i, v := range versions {
+		if v != 1 {
+			t.Fatalf("version[%d] = %d", i, v)
+		}
+	}
+	blobs, err := client.GetBlobs(append(names, "missing"))
+	if err != nil {
+		t.Fatalf("GetBlobs over TCP: %v", err)
+	}
+	for i := range names {
+		if !bytes.Equal(blobs[i].Data, []byte(names[i])) {
+			t.Fatalf("blob %d = %q", i, blobs[i].Data)
+		}
+	}
+	if blobs[len(names)].Version != 0 {
+		t.Fatalf("missing blob should be zero: %+v", blobs[len(names)])
+	}
+	if st := client.Stats(); st.Puts != 20 || st.Gets != 21 {
+		t.Fatalf("server-side counters after batch: %+v", st)
+	}
+}
+
+func TestTCPPipelining(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+
+	// Write the whole request train before reading any response — the raw
+	// mechanism behind the batch fallback for pre-batch servers.
+	reqs := make([]rpcRequest, 10)
+	for i := range reqs {
+		reqs[i] = rpcRequest{Op: "put", Name: fmt.Sprintf("p-%02d", i), Data: []byte("x")}
+	}
+	resps, err := client.pipeline(reqs)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	for i, r := range resps {
+		if r.Err != "" || r.Version != 1 {
+			t.Fatalf("pipelined response %d: %+v", i, r)
+		}
+	}
+	// Responses must have come back in request order.
+	names, _ := mem.ListBlobs("p-")
+	if len(names) != 10 {
+		t.Fatalf("pipelined puts stored %d blobs", len(names))
 	}
 }
 

@@ -94,7 +94,7 @@ func (c *Cell) RequestApproval(referencedParty, description, docType string, pay
 	}
 	contentHash := crypto.HashString(payload)
 	req := ApprovalRequest{
-		ID:          "appr-" + crypto.HashString([]byte(c.id+referencedParty+contentHash))[:16],
+		ID:          "appr-" + crypto.HashString([]byte(c.id + referencedParty + contentHash))[:16],
 		From:        c.id,
 		To:          referencedParty,
 		Description: description,

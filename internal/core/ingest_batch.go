@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"trustedcells/internal/audit"
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+)
+
+// maxSealWorkers bounds the sealing pool of one IngestBatch call, so a huge
+// batch on a large host does not starve the rest of the cell.
+const maxSealWorkers = 8
+
+// IngestItem is one document of a batched ingest.
+type IngestItem struct {
+	Payload []byte
+	Opts    IngestOptions
+}
+
+// sealedItem is the output of the sealing stage for one item.
+type sealedItem struct {
+	doc    *datamodel.Document
+	sealed []byte
+}
+
+// IngestBatch acquires many payloads in one operation. Sealing — the AES
+// envelope over each payload, the CPU hot path of ingestion — fans out across
+// a bounded worker pool, and the resulting ciphertexts are flushed to the
+// cloud through the batch API (one round-trip for the whole batch when the
+// service supports it, see cloud.BatchService). The local cache, catalog and
+// audit updates then apply in item order, so a batch is observationally
+// equivalent to a sequence of Ingest calls.
+//
+// The batch fails as a unit before any upload: an error while sealing, or
+// two items hashing to the same document ID, leaves the cell and the cloud
+// untouched. Errors after that point mirror a sequence of Ingest calls: the
+// documents committed before the failure are returned alongside the error,
+// and already-uploaded blobs of uncommitted items are harmless (sealed,
+// unreferenced) and garbage-collected by the next vault sync.
+//
+// IngestBatch is an owner operation.
+func (c *Cell) IngestBatch(items []IngestItem) ([]*datamodel.Document, error) {
+	if c.tee.Locked() {
+		return nil, ErrNotOwner
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	sealed, err := c.sealAll(items)
+	if err != nil {
+		return nil, err
+	}
+	ids := make(map[string]int, len(sealed))
+	for i, s := range sealed {
+		if j, dup := ids[s.doc.ID]; dup {
+			return nil, fmt.Errorf("core: ingest batch: items %d and %d are identical (document %s)", j, i, s.doc.ID)
+		}
+		ids[s.doc.ID] = i
+	}
+
+	if c.cloud != nil {
+		puts := make([]cloud.BlobPut, len(sealed))
+		for i, s := range sealed {
+			puts[i] = cloud.BlobPut{Name: s.doc.BlobRef, Data: s.sealed}
+		}
+		if _, err := cloud.PutBlobsVia(c.cloud, puts); err != nil {
+			return nil, fmt.Errorf("core: ingest batch: cloud put: %w", err)
+		}
+	}
+
+	docs := make([]*datamodel.Document, 0, len(sealed))
+	for _, s := range sealed {
+		if err := c.cache.Put([]byte("payload/"+s.doc.ID), s.sealed); err != nil {
+			return docs, fmt.Errorf("core: ingest batch: cache: %w", err)
+		}
+		if err := c.catalog.Add(s.doc); err != nil {
+			return docs, fmt.Errorf("core: ingest batch: catalog: %w", err)
+		}
+		c.appendAudit(c.id, "ingest", s.doc.ID, audit.OutcomeAllowed, "owner ingest (batch)", "")
+		docs = append(docs, s.doc.Clone())
+	}
+	return docs, nil
+}
+
+// sealAll runs the CPU-bound stage of IngestBatch: metadata construction, key
+// derivation and envelope encryption for every item, spread over at most
+// maxSealWorkers goroutines (never more than GOMAXPROCS — sealing is pure
+// CPU, extra goroutines would only add scheduling noise).
+func (c *Cell) sealAll(items []IngestItem) ([]sealedItem, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxSealWorkers {
+		workers = maxSealWorkers
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	now := c.clock() // one timestamp for the whole batch
+	out := make([]sealedItem, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		for i := range items {
+			out[i], errs[i] = c.sealOne(items[i], now)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = c.sealOne(items[i], now)
+				}
+			}()
+		}
+		for i := range items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sealOne builds the document metadata and seals the payload of one item.
+// It only reads immutable cell state (id, key hierarchy, clock value), so it
+// is safe to run from many workers at once.
+func (c *Cell) sealOne(item IngestItem, now time.Time) (sealedItem, error) {
+	contentHash := crypto.HashString(item.Payload)
+	doc := &datamodel.Document{
+		ID:          datamodel.NewDocumentID(c.id, item.Opts.Type, contentHash),
+		Owner:       c.id,
+		Class:       item.Opts.Class,
+		Type:        item.Opts.Type,
+		Title:       item.Opts.Title,
+		Keywords:    item.Opts.Keywords,
+		Tags:        item.Opts.Tags,
+		CreatedAt:   now,
+		Size:        int64(len(item.Payload)),
+		ContentHash: contentHash,
+	}
+	key := c.keys.DocumentKey(doc.ID)
+	doc.KeyFingerprint = key.Fingerprint()
+	sealed, err := crypto.Seal(key, item.Payload, associatedData(c.id, doc.ID))
+	if err != nil {
+		return sealedItem{}, fmt.Errorf("core: ingest batch: %w", err)
+	}
+	doc.BlobRef = c.blobName(doc.ID)
+	return sealedItem{doc: doc, sealed: sealed}, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/tamper"
+)
+
+func newBatchTestCell(t *testing.T, svc cloud.Service) *Cell {
+	t.Helper()
+	cell, err := New(Config{ID: "batch-cell", Class: tamper.ClassHomeGateway,
+		Cloud: svc, Seed: []byte("batch-cell")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.AddRule(policy.Rule{ID: "owner", Effect: policy.EffectAllow,
+		SubjectIDs: []string{"owner"}, Actions: []policy.Action{policy.ActionRead}}); err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+func TestIngestBatchMatchesIngest(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := newBatchTestCell(t, svc)
+
+	items := make([]IngestItem, 10)
+	for i := range items {
+		items[i] = IngestItem{
+			Payload: []byte(fmt.Sprintf("payload-%02d", i)),
+			Opts:    IngestOptions{Class: datamodel.ClassAuthored, Type: "note", Title: fmt.Sprintf("n%d", i)},
+		}
+	}
+	docs, err := cell.IngestBatch(items)
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if len(docs) != len(items) {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	if cell.Catalog().Len() != len(items) {
+		t.Fatalf("catalog = %d", cell.Catalog().Len())
+	}
+	for i, doc := range docs {
+		// Batched documents read back through the reference monitor exactly
+		// like individually ingested ones.
+		plain, err := cell.Read("owner", doc.ID, AccessContext{})
+		if err != nil {
+			t.Fatalf("read %s: %v", doc.ID, err)
+		}
+		if !bytes.Equal(plain, items[i].Payload) {
+			t.Fatalf("payload %d round-trip: %q", i, plain)
+		}
+		// The sealed blob reached the cloud vault under the document's ref.
+		if _, err := svc.GetBlob(doc.BlobRef); err != nil {
+			t.Fatalf("cloud blob %s: %v", doc.BlobRef, err)
+		}
+	}
+	if got := int64(len(items)); svc.Stats().Puts != got {
+		t.Fatalf("cloud puts = %d, want %d", svc.Stats().Puts, got)
+	}
+	// Every item is individually audited.
+	records := cell.AuditLog().Records()
+	ingests := 0
+	for _, r := range records {
+		if r.Action == "ingest" {
+			ingests++
+		}
+	}
+	if ingests < len(items) {
+		t.Fatalf("audit records = %d", ingests)
+	}
+}
+
+func TestIngestBatchRejectsDuplicateItems(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := newBatchTestCell(t, svc)
+	same := IngestItem{Payload: []byte("twin"), Opts: IngestOptions{Class: datamodel.ClassAuthored, Type: "note"}}
+	docs, err := cell.IngestBatch([]IngestItem{same, same})
+	if err == nil {
+		t.Fatal("identical items must fail the batch")
+	}
+	if len(docs) != 0 {
+		t.Fatalf("no documents should commit: %v", docs)
+	}
+	// The failure happened before any upload or local commit.
+	if cell.Catalog().Len() != 0 || svc.Stats().Puts != 0 {
+		t.Fatalf("batch was partially applied: catalog=%d puts=%d", cell.Catalog().Len(), svc.Stats().Puts)
+	}
+}
+
+func TestIngestBatchEmptyAndLocked(t *testing.T) {
+	cell := newBatchTestCell(t, cloud.NewMemory())
+	docs, err := cell.IngestBatch(nil)
+	if err != nil || docs != nil {
+		t.Fatalf("empty batch: %v %v", docs, err)
+	}
+	cell.TEE().Lock()
+	if _, err := cell.IngestBatch([]IngestItem{{Payload: []byte("x")}}); err != ErrNotOwner {
+		t.Fatalf("locked cell must refuse batched ingest: %v", err)
+	}
+}
+
+// countingBatchService records how many batch uploads it served, proving the
+// cell prefers the batch API when the cloud offers it.
+type countingBatchService struct {
+	*cloud.Memory
+	mu         sync.Mutex
+	batchCalls int
+}
+
+func (c *countingBatchService) PutBlobs(puts []cloud.BlobPut) ([]int, error) {
+	c.mu.Lock()
+	c.batchCalls++
+	c.mu.Unlock()
+	return c.Memory.PutBlobs(puts)
+}
+
+func TestIngestBatchUsesBatchAPI(t *testing.T) {
+	svc := &countingBatchService{Memory: cloud.NewMemory()}
+	cell, err := New(Config{ID: "batch-cell", Class: tamper.ClassHomeGateway,
+		Cloud: svc, Seed: []byte("batch-cell")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]IngestItem, 6)
+	for i := range items {
+		items[i] = IngestItem{Payload: []byte(fmt.Sprintf("p%d", i)),
+			Opts: IngestOptions{Class: datamodel.ClassAuthored, Type: "note"}}
+	}
+	if _, err := cell.IngestBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	if svc.batchCalls != 1 {
+		t.Fatalf("batch uploads = %d, want 1", svc.batchCalls)
+	}
+}
+
+// TestIngestBatchConcurrentStress runs batched and individual ingests on the
+// same cell from many goroutines; under -race it is the regression test for
+// the parallel sealing pool sharing the cell's substrates.
+func TestIngestBatchConcurrentStress(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := newBatchTestCell(t, svc)
+	const (
+		workers  = 8
+		perBatch = 8
+		batches  = 3
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				items := make([]IngestItem, perBatch)
+				for i := range items {
+					items[i] = IngestItem{
+						Payload: []byte(fmt.Sprintf("w%02d-b%02d-i%02d", w, b, i)),
+						Opts:    IngestOptions{Class: datamodel.ClassSensed, Type: "reading"},
+					}
+				}
+				if _, err := cell.IngestBatch(items); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Interleave a single ingest to mix both paths.
+				if _, err := cell.Ingest([]byte(fmt.Sprintf("solo-w%02d-b%02d", w, b)),
+					IngestOptions{Class: datamodel.ClassAuthored, Type: "note"}); err != nil {
+					t.Errorf("worker %d solo: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := workers * batches * (perBatch + 1)
+	if got := cell.Catalog().Len(); got != want {
+		t.Fatalf("catalog = %d, want %d", got, want)
+	}
+	// Spot-check a few documents end to end.
+	docs, err := cell.Search(datamodel.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs[:10] {
+		if _, err := cell.Read("owner", doc.ID, AccessContext{}); err != nil {
+			t.Fatalf("read-back %s: %v", doc.ID, err)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package sim is the experiment harness of the repository. The paper being a
 // vision paper with no evaluation section, DESIGN.md defines a synthetic
-// evaluation suite (experiments E1–E8 plus the Figure 1 walk-through), each
+// evaluation suite (experiments E1–E9 plus the Figure 1 walk-through), each
 // substantiating one architectural claim. This package implements every
 // experiment as a pure function returning a Table, so the same code backs the
 // Go benchmarks, the tcbench command line and EXPERIMENTS.md.
@@ -90,7 +90,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -112,6 +112,8 @@ func Run(id string) (*Table, error) {
 		return RunE7(DefaultE7Config())
 	case "e8":
 		return RunE8(DefaultE8Config())
+	case "e9":
+		return RunE9(DefaultE9Config())
 	case "fig1":
 		return RunFig1()
 	default:

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(ids))
+	if len(ids) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(ids))
 	}
 }
 
@@ -197,6 +197,32 @@ func TestRunE8Shape(t *testing.T) {
 	maeTight := parseFloat(t, table.Rows[3][3])
 	if maeTight >= maeLoose {
 		t.Fatalf("DP error should shrink as epsilon grows: %v vs %v", maeLoose, maeTight)
+	}
+}
+
+func TestRunE9Shape(t *testing.T) {
+	cfg := DefaultE9Config()
+	cfg.Fleets = []int{2, 8}
+	cfg.DocsPerCell = 16
+	table, err := RunE9(cfg)
+	if err != nil {
+		t.Fatalf("RunE9: %v", err)
+	}
+	if len(table.Rows) != 2*len(cfg.Fleets) {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		seq := parseFloat(t, table.Rows[i][3])
+		bat := parseFloat(t, table.Rows[i+1][3])
+		if seq <= 0 || bat <= 0 {
+			t.Fatalf("throughput must be positive\n%s", table)
+		}
+		// The batched path pays one simulated round-trip per batch instead of
+		// one per document; even on a loaded single-core runner it must stay
+		// comfortably ahead of the sequential baseline.
+		if bat < 1.5*seq {
+			t.Fatalf("sharded/batched path not faster: seq=%.0f batched=%.0f\n%s", seq, bat, table)
+		}
 	}
 }
 

@@ -56,6 +56,9 @@ type CellConfig = core.Config
 // IngestOptions describe a document being acquired by a cell.
 type IngestOptions = core.IngestOptions
 
+// IngestItem is one document of a batched ingest (see Cell.IngestBatch).
+type IngestItem = core.IngestItem
+
 // AccessContext carries requester-side context (credentials, purpose,
 // location, fulfilled obligations).
 type AccessContext = core.AccessContext
@@ -93,6 +96,14 @@ type (
 
 // CloudService is the untrusted infrastructure interface.
 type CloudService = cloud.Service
+
+// BatchCloudService is the optional batch extension of CloudService: one
+// round-trip uploads or fetches many blobs. The in-memory cloud and the TCP
+// client both implement it; Cell.IngestBatch exploits it automatically.
+type BatchCloudService = cloud.BatchService
+
+// BlobPut is one named payload of a batched upload.
+type BlobPut = cloud.BlobPut
 
 // Hardware classes of the devices hosting cells.
 const (
@@ -141,8 +152,14 @@ func NewCell(cfg CellConfig) (*Cell, error) { return core.New(cfg) }
 func NewPairingSecret() (crypto.SymmetricKey, error) { return core.NewPairingSecret() }
 
 // NewMemoryCloud creates an in-process honest untrusted-infrastructure
-// service, suitable for tests, examples and simulations.
+// service, suitable for tests, examples and simulations. The store is
+// sharded for concurrent fleets (see NewMemoryCloudShards to choose the
+// shard count).
 func NewMemoryCloud() *cloud.Memory { return cloud.NewMemory() }
+
+// NewMemoryCloudShards creates an in-process honest cloud service with the
+// given shard count; one shard reproduces the historical single-mutex store.
+func NewMemoryCloudShards(shards int) *cloud.Memory { return cloud.NewMemoryShards(shards) }
 
 // DialCloud connects to a tccloud server over TCP and returns a CloudService.
 func DialCloud(addr string) (CloudService, error) { return cloud.Dial(addr) }
@@ -190,7 +207,7 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e8, fig1) with its
+// RunExperiment runs one of the DESIGN.md experiments (e1..e9, fig1) with its
 // default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
