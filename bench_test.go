@@ -152,6 +152,35 @@ func BenchmarkE9FleetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE10QueryThroughput measures experiment E10 at 10k catalog
+// documents with 16 concurrent readers: series-aggregate query throughput of
+// the seed per-document path (full catalog scan + one cloud round-trip per
+// uncached document) versus the indexed+batched pipeline (planned index scan
+// + one GetBlobs exchange per query + parallel open + streaming merge). The
+// measured queries/sec of both paths and their ratio are attached as
+// benchmark metrics; EXPERIMENTS.md records the reference numbers. The
+// pipeline is expected to sustain at least 2x the sequential throughput.
+func BenchmarkE10QueryThroughput(b *testing.B) {
+	cfg := sim.DefaultE10Config()
+	const catalogDocs = 10_000
+	var seqQPS, batQPS float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE10Size(cfg, catalogDocs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqQPS += res.SequentialQPS
+		batQPS += res.BatchedQPS
+	}
+	seqQPS /= float64(b.N)
+	batQPS /= float64(b.N)
+	b.ReportMetric(seqQPS, "seq-queries/sec")
+	b.ReportMetric(batQPS, "batched-queries/sec")
+	if seqQPS > 0 {
+		b.ReportMetric(batQPS/seqQPS, "speedup")
+	}
+}
+
 // BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture
 // walk-through (all flows of the paper's only figure).
 func BenchmarkFig1Walkthrough(b *testing.B) {

@@ -1,9 +1,10 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E9) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E10) plus the Figure 1 architecture walk-through.
 //
 //	tcbench -experiment all          # run everything
 //	tcbench -experiment e4           # one experiment
-//	tcbench -experiment e9           # fleet throughput, sequential vs sharded/batched
+//	tcbench -run e10                 # filter flag: just the query pipeline
+//	tcbench -run e9,e10              # comma-separated filter
 //	tcbench -experiment fig1 -out report.txt
 package main
 
@@ -20,7 +21,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e9, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e10, fig1) or 'all'")
+		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e10' or 'e9,e10'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 	)
 	flag.Parse()
@@ -35,9 +37,9 @@ func main() {
 		w = f
 	}
 
-	ids := []string{strings.ToLower(*experiment)}
-	if *experiment == "all" {
-		ids = sim.ExperimentIDs()
+	ids, err := selectExperiments(*experiment, *run)
+	if err != nil {
+		log.Fatalf("tcbench: %v", err)
 	}
 	for _, id := range ids {
 		table, err := sim.Run(id)
@@ -51,4 +53,38 @@ func main() {
 	if *out != "" {
 		fmt.Printf("tcbench: wrote %d experiment(s) to %s\n", len(ids), *out)
 	}
+}
+
+// selectExperiments resolves the -experiment / -run flags into the list of
+// experiment IDs to regenerate. -run wins when both are given, so a single
+// experiment can be rendered without running the whole suite.
+func selectExperiments(experiment, run string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, id := range sim.ExperimentIDs() {
+		known[id] = true
+	}
+	pick := func(raw string) ([]string, error) {
+		var ids []string
+		for _, part := range strings.Split(raw, ",") {
+			id := strings.ToLower(strings.TrimSpace(part))
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				return nil, fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(sim.ExperimentIDs(), ", "))
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("empty experiment filter")
+		}
+		return ids, nil
+	}
+	if run != "" {
+		return pick(run)
+	}
+	if strings.ToLower(experiment) == "all" {
+		return sim.ExperimentIDs(), nil
+	}
+	return pick(experiment)
 }

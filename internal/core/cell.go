@@ -315,27 +315,47 @@ func decodeSeries(data []byte) (*timeseries.Series, error) {
 }
 
 // fetchSealed returns the sealed payload of a document, preferring the local
-// cache and falling back to the cloud.
-func (c *Cell) fetchSealed(doc *datamodel.Document) ([]byte, error) {
+// cache and falling back to the cloud; fromCloud reports which one served
+// it, so callers can warm the cache once the envelope verifies.
+func (c *Cell) fetchSealed(doc *datamodel.Document) (sealed []byte, fromCloud bool, err error) {
 	if sealed, err := c.cache.Get([]byte("payload/" + doc.ID)); err == nil {
-		return sealed, nil
+		return sealed, false, nil
 	}
 	if c.cloud == nil {
-		return nil, fmt.Errorf("core: payload of %s unavailable: no cloud and no cache", doc.ID)
+		return nil, false, fmt.Errorf("core: payload of %s unavailable: no cloud and no cache", doc.ID)
 	}
 	blob, err := c.cloud.GetBlob(doc.BlobRef)
 	if err != nil {
-		return nil, fmt.Errorf("core: fetching %s: %w", doc.ID, err)
+		return nil, false, fmt.Errorf("core: fetching %s: %w", doc.ID, err)
 	}
-	return blob.Data, nil
+	return blob.Data, true, nil
 }
 
-// openDocument decrypts and integrity-checks a document payload.
+// openDocument fetches, decrypts and integrity-checks a document payload.
+// A verified cloud fetch warms the local cache so the next read of the same
+// document stays local (read-your-reads); a payload that fails verification
+// is never cached, so recovery retries the cloud.
 func (c *Cell) openDocument(doc *datamodel.Document, key crypto.SymmetricKey, owner string) ([]byte, error) {
-	sealed, err := c.fetchSealed(doc)
+	sealed, fromCloud, err := c.fetchSealed(doc)
 	if err != nil {
 		return nil, err
 	}
+	plain, err := c.openSealed(doc, key, owner, sealed)
+	if err == nil && fromCloud {
+		c.warmCache(doc.ID, sealed)
+	}
+	return plain, err
+}
+
+// warmCache writes a verified sealed payload back to the local cache. Best
+// effort: the read already has the bytes even if caching them fails.
+func (c *Cell) warmCache(docID string, sealed []byte) {
+	_ = c.cache.Put([]byte("payload/"+docID), sealed)
+}
+
+// openSealed decrypts and integrity-checks an already-fetched sealed payload.
+// It only reads immutable cell state, so it is safe from many workers at once.
+func (c *Cell) openSealed(doc *datamodel.Document, key crypto.SymmetricKey, owner string, sealed []byte) ([]byte, error) {
 	plain, ad, err := crypto.Open(key, sealed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: envelope of %s", ErrIntegrity, doc.ID)
@@ -378,10 +398,23 @@ func (c *Cell) appendAudit(actor, action, resource string, outcome audit.Outcome
 	})
 }
 
-// Read returns the plaintext payload of a document if the access-control
-// policy and the usage-control monitor both allow it. Every attempt is
-// audited.
-func (c *Cell) Read(subjectID, docID string, ctx AccessContext) ([]byte, error) {
+// readGate is the outcome of the reference-monitor gate for one document of a
+// read or aggregate: everything needed to open the payload and settle the
+// access afterwards.
+type readGate struct {
+	doc        *datamodel.Document
+	key        crypto.SymmetricKey
+	owner      string
+	session    *ucon.Session
+	decision   policy.Decision
+	originator string
+}
+
+// gateRead runs the reference-monitor checks of a read — catalog lookup,
+// access-control evaluation, usage-control session admission, key selection —
+// auditing every refusal. It performs no payload I/O, so batches can gate
+// every document before a single cloud exchange.
+func (c *Cell) gateRead(subjectID, docID string, ctx AccessContext) (*readGate, error) {
 	doc, err := c.catalog.Get(docID)
 	if err != nil {
 		c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, "unknown document", "")
@@ -428,35 +461,61 @@ func (c *Cell) Read(subjectID, docID string, ctx AccessContext) ([]byte, error) 
 			return nil, kerr
 		}
 	}
-	plain, err := c.openDocument(doc, key, owner)
-	if err != nil {
-		c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, err.Error(), originator)
-		return nil, err
+	return &readGate{doc: doc, key: key, owner: owner, session: session,
+		decision: decision, originator: originator}, nil
+}
+
+// settleRead finishes a gated read whose payload has been fetched and
+// decrypted: it fulfils usage obligations, closes the session, and audits the
+// outcome. openErr carries the fetch or decryption failure, if any; a failed
+// read revokes the session rather than leaving it active (and the subject
+// never saw the payload, so no use is counted).
+func (c *Cell) settleRead(subjectID string, g *readGate, plain []byte, openErr error) ([]byte, error) {
+	if openErr != nil {
+		if g.session != nil {
+			_ = c.usage.Revoke(g.session.ID)
+		}
+		c.appendAudit(subjectID, string(policy.ActionRead), g.doc.ID, audit.OutcomeError, openErr.Error(), g.originator)
+		return nil, openErr
 	}
-	if session != nil {
+	if g.session != nil {
 		// Fulfil the notify-owner obligation by exporting an audit segment to
 		// the originator mailbox, then close the session.
-		pending, _ := c.usage.PendingObligations(session.ID)
+		pending, _ := c.usage.PendingObligations(g.session.ID)
 		for _, ob := range pending {
 			if ob == ucon.ObligationNotifyOwner {
-				if err := c.notifyOriginator(docID, subjectID); err == nil {
-					_ = c.usage.FulfillObligation(session.ID, ucon.ObligationNotifyOwner)
+				if err := c.notifyOriginator(g.doc.ID, subjectID); err == nil {
+					_ = c.usage.FulfillObligation(g.session.ID, ucon.ObligationNotifyOwner)
 				}
 			}
 		}
-		if err := c.usage.EndAccess(session.ID); err != nil {
-			c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeError, err.Error(), originator)
+		if err := c.usage.EndAccess(g.session.ID); err != nil {
+			c.appendAudit(subjectID, string(policy.ActionRead), g.doc.ID, audit.OutcomeError, err.Error(), g.originator)
 			return nil, fmt.Errorf("%w: %v", ErrAccessDenied, err)
 		}
 	}
-	c.appendAudit(subjectID, string(policy.ActionRead), docID, audit.OutcomeAllowed, decision.Reason+" rule="+decision.RuleID, originator)
+	c.appendAudit(subjectID, string(policy.ActionRead), g.doc.ID, audit.OutcomeAllowed,
+		g.decision.Reason+" rule="+g.decision.RuleID, g.originator)
 	return plain, nil
 }
 
-// Aggregate evaluates an aggregate query over a time-series document at the
-// requested granularity. The policy's MaxGranularity cap is enforced: a
-// requester entitled to 15-minute aggregates cannot obtain 1-second data.
-func (c *Cell) Aggregate(subjectID, docID string, g timeseries.Granularity, kind timeseries.AggregateKind, ctx AccessContext) (*timeseries.Series, error) {
+// Read returns the plaintext payload of a document if the access-control
+// policy and the usage-control monitor both allow it. Every attempt is
+// audited. Many documents at once go through ReadBatch, which fetches all
+// cache misses in one cloud round-trip.
+func (c *Cell) Read(subjectID, docID string, ctx AccessContext) ([]byte, error) {
+	g, err := c.gateRead(subjectID, docID, ctx)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := c.openDocument(g.doc, g.key, g.owner)
+	return c.settleRead(subjectID, g, plain, err)
+}
+
+// gateAggregate runs the reference-monitor checks of an aggregate query over
+// one series document, including the policy's MaxGranularity cap, auditing
+// every refusal. Like gateRead it performs no payload I/O.
+func (c *Cell) gateAggregate(subjectID, docID string, g timeseries.Granularity, ctx AccessContext) (*readGate, error) {
 	doc, err := c.catalog.Get(docID)
 	if err != nil {
 		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeError, "unknown document", "")
@@ -485,10 +544,22 @@ func (c *Cell) Aggregate(subjectID, docID string, g timeseries.Granularity, kind
 			fmt.Sprintf("requested %v finer than allowed %v", time.Duration(g), decision.MaxGranularity), originator)
 		return nil, ErrGranularity
 	}
-	key := c.keys.DocumentKey(docID)
-	plain, err := c.openDocument(doc, key, c.id)
+	return &readGate{doc: doc, key: c.keys.DocumentKey(docID), owner: c.id,
+		decision: decision, originator: originator}, nil
+}
+
+// Aggregate evaluates an aggregate query over a time-series document at the
+// requested granularity. The policy's MaxGranularity cap is enforced: a
+// requester entitled to 15-minute aggregates cannot obtain 1-second data.
+// Many documents at once go through AggregateBatch.
+func (c *Cell) Aggregate(subjectID, docID string, g timeseries.Granularity, kind timeseries.AggregateKind, ctx AccessContext) (*timeseries.Series, error) {
+	gate, err := c.gateAggregate(subjectID, docID, g, ctx)
 	if err != nil {
-		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeError, err.Error(), originator)
+		return nil, err
+	}
+	plain, err := c.openDocument(gate.doc, gate.key, gate.owner)
+	if err != nil {
+		c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeError, err.Error(), gate.originator)
 		return nil, err
 	}
 	series, err := decodeSeries(plain)
@@ -500,7 +571,7 @@ func (c *Cell) Aggregate(subjectID, docID string, g timeseries.Granularity, kind
 		return nil, fmt.Errorf("core: aggregate: %w", err)
 	}
 	c.appendAudit(subjectID, string(policy.ActionAggregate), docID, audit.OutcomeAllowed,
-		fmt.Sprintf("granularity=%v rule=%s", time.Duration(g), decision.RuleID), originator)
+		fmt.Sprintf("granularity=%v rule=%s", time.Duration(g), gate.decision.RuleID), gate.originator)
 	return out, nil
 }
 
@@ -511,6 +582,35 @@ func (c *Cell) Search(q datamodel.Query) ([]*datamodel.Document, error) {
 		return nil, ErrNotOwner
 	}
 	return c.catalog.Search(q), nil
+}
+
+// SearchPlan runs a metadata query and additionally returns the execution
+// plan the catalog chose for it (owner operation).
+func (c *Cell) SearchPlan(q datamodel.Query) ([]*datamodel.Document, datamodel.PlanInfo, error) {
+	if c.tee.Locked() {
+		return nil, datamodel.PlanInfo{}, ErrNotOwner
+	}
+	docs, plan := c.catalog.SearchPlan(q)
+	return docs, plan, nil
+}
+
+// SearchScan runs a metadata query on the pre-index full-scan path — the
+// seed baseline experiment E10 measures the planner against (owner
+// operation).
+func (c *Cell) SearchScan(q datamodel.Query) ([]*datamodel.Document, error) {
+	if c.tee.Locked() {
+		return nil, ErrNotOwner
+	}
+	return c.catalog.SearchScan(q), nil
+}
+
+// KeywordCounts counts catalog documents per keyword in a single pass over
+// the keyword index (owner operation).
+func (c *Cell) KeywordCounts(keywords []string) (map[string]int, error) {
+	if c.tee.Locked() {
+		return nil, ErrNotOwner
+	}
+	return c.catalog.KeywordCounts(keywords), nil
 }
 
 // notifyOriginator pushes the audit records concerning docID to the

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"trustedcells/internal/audit"
@@ -11,10 +9,6 @@ import (
 	"trustedcells/internal/crypto"
 	"trustedcells/internal/datamodel"
 )
-
-// maxSealWorkers bounds the sealing pool of one IngestBatch call, so a huge
-// batch on a large host does not starve the rest of the cell.
-const maxSealWorkers = 8
 
 // IngestItem is one document of a batched ingest.
 type IngestItem struct {
@@ -88,42 +82,15 @@ func (c *Cell) IngestBatch(items []IngestItem) ([]*datamodel.Document, error) {
 }
 
 // sealAll runs the CPU-bound stage of IngestBatch: metadata construction, key
-// derivation and envelope encryption for every item, spread over at most
-// maxSealWorkers goroutines (never more than GOMAXPROCS — sealing is pure
-// CPU, extra goroutines would only add scheduling noise).
+// derivation and envelope encryption for every item, spread over the shared
+// bounded worker pool.
 func (c *Cell) sealAll(items []IngestItem) ([]sealedItem, error) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > maxSealWorkers {
-		workers = maxSealWorkers
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
 	now := c.clock() // one timestamp for the whole batch
 	out := make([]sealedItem, len(items))
 	errs := make([]error, len(items))
-	if workers <= 1 {
-		for i := range items {
-			out[i], errs[i] = c.sealOne(items[i], now)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					out[i], errs[i] = c.sealOne(items[i], now)
-				}
-			}()
-		}
-		for i := range items {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	parallelDo(len(items), maxCryptoWorkers, func(i int) {
+		out[i], errs[i] = c.sealOne(items[i], now)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

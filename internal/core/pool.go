@@ -1,0 +1,46 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxCryptoWorkers bounds the per-call worker pool of batched seal and open
+// operations, so one huge batch on a large host does not starve the rest of
+// the cell. IngestBatch, ReadBatch and AggregateBatch all share this cap.
+const maxCryptoWorkers = 8
+
+// parallelDo runs fn(i) for every i in [0, n) across a bounded pool of at
+// most workers goroutines — never more than GOMAXPROCS, since the batch
+// workloads are pure CPU and extra goroutines would only add scheduling
+// noise. Small inputs degrade to a plain loop on the calling goroutine.
+func parallelDo(n, workers int, fn func(int)) {
+	if w := runtime.GOMAXPROCS(0); workers > w {
+		workers = w
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/tamper"
+	"trustedcells/internal/timeseries"
+	"trustedcells/internal/ucon"
+)
+
+// coldReadCell ingests n notes on a builder cell, syncs the vault, and
+// returns a fresh cell of the same user restored from the cloud: its catalog
+// is full but its payload cache is empty, so every read must go to the cloud.
+func coldReadCell(t *testing.T, svc cloud.Service, n int) (*Cell, []string, [][]byte) {
+	t.Helper()
+	builder, err := New(Config{ID: "reader-cell", Class: tamper.ClassHomeGateway,
+		Cloud: svc, Seed: []byte("reader-cell")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]IngestItem, n)
+	payloads := make([][]byte, n)
+	for i := range items {
+		payloads[i] = []byte(fmt.Sprintf("payload-%03d", i))
+		items[i] = IngestItem{Payload: payloads[i],
+			Opts: IngestOptions{Class: datamodel.ClassAuthored, Type: "note", Title: fmt.Sprintf("n%d", i)}}
+	}
+	docs, err := builder.IngestBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := builder.SyncVault(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(Config{ID: "reader-cell", Class: tamper.ClassHomeGateway,
+		Cloud: svc, Seed: []byte("reader-cell")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.RestoreVault(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AddRule(policy.Rule{ID: "owner", Effect: policy.EffectAllow,
+		SubjectIDs: []string{"owner"}, Actions: []policy.Action{policy.ActionRead}}); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, n)
+	for i, d := range docs {
+		ids[i] = d.ID
+	}
+	return cold, ids, payloads
+}
+
+func TestReadBatchMatchesRead(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell, ids, payloads := coldReadCell(t, svc, 8)
+
+	req := append(append([]string{}, ids...), "doc-missing")
+	results := cell.ReadBatch("owner", req, AccessContext{})
+	if len(results) != len(req) {
+		t.Fatalf("results = %d, want %d", len(results), len(req))
+	}
+	for i := range ids {
+		if results[i].Err != nil {
+			t.Fatalf("doc %d: %v", i, results[i].Err)
+		}
+		if !bytes.Equal(results[i].Payload, payloads[i]) {
+			t.Fatalf("doc %d payload %q", i, results[i].Payload)
+		}
+	}
+	if !errors.Is(results[len(req)-1].Err, ErrUnknownDocument) {
+		t.Fatalf("unknown doc error = %v", results[len(req)-1].Err)
+	}
+
+	// A stranger is denied per document, and the denials are audited.
+	denied := cell.ReadBatch("stranger", ids[:3], AccessContext{})
+	for _, r := range denied {
+		if !errors.Is(r.Err, ErrAccessDenied) {
+			t.Fatalf("stranger result %v", r.Err)
+		}
+	}
+	deniedAudits := 0
+	for _, r := range cell.AuditLog().Records() {
+		if r.Actor == "stranger" && r.Outcome == "denied" {
+			deniedAudits++
+		}
+	}
+	if deniedAudits != 3 {
+		t.Fatalf("denied audit records = %d", deniedAudits)
+	}
+}
+
+// countingGetBatchService records how many batched downloads it served.
+type countingGetBatchService struct {
+	*cloud.Memory
+	mu         sync.Mutex
+	getBatches int
+}
+
+func (c *countingGetBatchService) GetBlobs(names []string) ([]cloud.Blob, error) {
+	c.mu.Lock()
+	c.getBatches++
+	c.mu.Unlock()
+	return c.Memory.GetBlobs(names)
+}
+
+func TestReadBatchSingleCloudExchangeAndCacheWarming(t *testing.T) {
+	svc := &countingGetBatchService{Memory: cloud.NewMemory()}
+	cell, ids, _ := coldReadCell(t, svc, 12)
+
+	gets0 := svc.Stats().Gets
+	results := cell.ReadBatch("owner", ids, AccessContext{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if svc.getBatches != 1 {
+		t.Fatalf("batched downloads = %d, want 1", svc.getBatches)
+	}
+	if d := svc.Stats().Gets - gets0; d != int64(len(ids)) {
+		t.Fatalf("blob gets = %d, want %d", d, len(ids))
+	}
+
+	// Second batch: the first one warmed the cache, nothing touches the cloud.
+	gets1 := svc.Stats().Gets
+	results = cell.ReadBatch("owner", ids, AccessContext{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if svc.getBatches != 1 || svc.Stats().Gets != gets1 {
+		t.Fatalf("second batch hit the cloud: batches=%d gets=%d", svc.getBatches, svc.Stats().Gets-gets1)
+	}
+}
+
+// TestReadWarmsCacheAfterCloudFetch proves the single-document path also
+// writes a cloud-fetched payload back to the local cache: the second read of
+// the same document does not touch the cloud.
+func TestReadWarmsCacheAfterCloudFetch(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell, ids, _ := coldReadCell(t, svc, 1)
+
+	gets0 := svc.Stats().Gets
+	if _, err := cell.Read("owner", ids[0], AccessContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := svc.Stats().Gets - gets0; d != 1 {
+		t.Fatalf("first read gets = %d, want 1", d)
+	}
+	gets1 := svc.Stats().Gets
+	if _, err := cell.Read("owner", ids[0], AccessContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := svc.Stats().Gets - gets1; d != 0 {
+		t.Fatalf("second read still hit the cloud (%d gets)", d)
+	}
+}
+
+func TestAggregateBatchMatchesAggregate(t *testing.T) {
+	start := time.Date(2013, 1, 7, 0, 0, 0, 0, time.UTC)
+	cell, err := New(Config{ID: "agg-cell", Class: tamper.ClassHomeGateway,
+		Cloud: cloud.NewMemory(), Seed: []byte("agg-cell"),
+		Clock: func() time.Time { return start }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.AddRule(policy.Rule{ID: "household", Effect: policy.EffectAllow,
+		SubjectGroups: []string{"household"}, Actions: []policy.Action{policy.ActionAggregate},
+		Resource: policy.Resource{Type: SeriesDocType}, MaxGranularity: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for d := 0; d < 3; d++ {
+		s := timeseries.NewSeries("power", "W")
+		for i := 0; i < 24; i++ {
+			_ = s.AppendValue(start.Add(time.Duration(i)*time.Hour), float64(100*(d+1)))
+		}
+		doc, err := cell.IngestSeries(s, "day", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, doc.ID)
+	}
+	ctx := AccessContext{Groups: []string{"household"}}
+
+	results := cell.AggregateBatch("bob", ids, timeseries.GranularityHour, timeseries.AggregateMean, ctx)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("doc %d: %v", i, r.Err)
+		}
+		want, err := cell.Aggregate("bob", ids[i], timeseries.GranularityHour, timeseries.AggregateMean, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Series.Len() != want.Len() || r.Series.At(0).Value != want.At(0).Value {
+			t.Fatalf("doc %d batch/single mismatch", i)
+		}
+	}
+
+	// The granularity cap applies per document inside the batch too.
+	capped := cell.AggregateBatch("bob", ids, timeseries.GranularityMinute, timeseries.AggregateMean, ctx)
+	for _, r := range capped {
+		if !errors.Is(r.Err, ErrGranularity) {
+			t.Fatalf("cap not enforced in batch: %v", r.Err)
+		}
+	}
+
+	// Non-series documents are rejected per document.
+	note, err := cell.Ingest([]byte("note"), IngestOptions{Class: datamodel.ClassAuthored, Type: "note"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := cell.AggregateBatch("bob", []string{ids[0], note.ID}, timeseries.GranularityHour, timeseries.AggregateMean, ctx)
+	if mixed[0].Err != nil || !errors.Is(mixed[1].Err, ErrNotSeries) {
+		t.Fatalf("mixed batch = %v / %v", mixed[0].Err, mixed[1].Err)
+	}
+}
+
+// TestConcurrentReadSearchIngestStress interleaves concurrent Read, Search,
+// SearchPlan, ReadBatch and IngestBatch traffic on one cell; under -race it
+// is the regression test for the planned catalog indexes and the batched
+// read pipeline sharing the cell's substrates with writers.
+func TestConcurrentReadSearchIngestStress(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := newBatchTestCell(t, svc)
+
+	// A first wave of documents gives the readers something to chew on.
+	seedItems := make([]IngestItem, 16)
+	for i := range seedItems {
+		seedItems[i] = IngestItem{Payload: []byte(fmt.Sprintf("seed-%02d", i)),
+			Opts: IngestOptions{Class: datamodel.ClassSensed, Type: "reading",
+				Keywords: []string{"seed"}, Tags: map[string]string{"wave": "0"}}}
+	}
+	seeded, err := cell.IngestBatch(seedItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(seeded))
+	for i, d := range seeded {
+		ids[i] = d.ID
+	}
+
+	const loops = 30
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) { // ingestors
+			defer wg.Done()
+			for b := 0; b < loops/3; b++ {
+				items := make([]IngestItem, 4)
+				for i := range items {
+					items[i] = IngestItem{Payload: []byte(fmt.Sprintf("w%d-b%d-i%d", w, b, i)),
+						Opts: IngestOptions{Class: datamodel.ClassSensed, Type: "reading",
+							Keywords: []string{"stress"}, Tags: map[string]string{"wave": "1"}}}
+				}
+				if _, err := cell.IngestBatch(items); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) { // single readers
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				if _, err := cell.Read("owner", ids[(w+i)%len(ids)], AccessContext{}); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() { // batch readers
+			defer wg.Done()
+			for i := 0; i < loops/2; i++ {
+				for _, r := range cell.ReadBatch("owner", ids, AccessContext{}) {
+					if r.Err != nil {
+						t.Errorf("read batch: %v", r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() { // searchers exercising every index
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				if _, err := cell.Search(datamodel.Query{Type: "reading"}); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if _, _, err := cell.SearchPlan(datamodel.Query{Keyword: "stress", TagKey: "wave"}); err != nil {
+					t.Errorf("search plan: %v", err)
+					return
+				}
+				if _, err := cell.Search(datamodel.Query{Before: cell.Clock().Add(time.Hour)}); err != nil {
+					t.Errorf("time search: %v", err)
+					return
+				}
+				if _, err := cell.KeywordCounts([]string{"seed", "stress"}); err != nil {
+					t.Errorf("keyword counts: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := len(seedItems) + 3*(loops/3)*4
+	if got := cell.Catalog().Len(); got != want {
+		t.Fatalf("catalog = %d, want %d", got, want)
+	}
+}
+
+// TestReadBatchDuplicateIDsRespectUsageCap proves a batch repeating the same
+// document ID cannot slip past a MaxUses usage cap: the duplicates settle
+// through the sequential path after the batch, exactly as two Read calls.
+func TestReadBatchDuplicateIDsRespectUsageCap(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := newBatchTestCell(t, svc)
+	doc, err := cell.Ingest([]byte("rationed"), IngestOptions{Class: datamodel.ClassAuthored, Type: "note"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.AttachUsagePolicy(ucon.Policy{ObjectID: doc.ID, MaxUses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	results := cell.ReadBatch("owner", []string{doc.ID, doc.ID}, AccessContext{})
+	if results[0].Err != nil {
+		t.Fatalf("first use: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrAccessDenied) {
+		t.Fatalf("second use of a MaxUses=1 document must be denied, got %v", results[1].Err)
+	}
+	if n := cell.Usage().UseCount(doc.ID, "owner"); n != 1 {
+		t.Fatalf("use count = %d, want 1", n)
+	}
+}
+
+// TestFailedReadRevokesUsageSession proves a read that passes the gate but
+// fails to open (integrity violation on the cloud payload) does not leave a
+// usage session active forever, and does not count as a completed use.
+func TestFailedReadRevokesUsageSession(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell, ids, _ := coldReadCell(t, svc, 2)
+	for _, id := range ids {
+		if err := cell.AttachUsagePolicy(ucon.Policy{ObjectID: id, MaxUses: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The weakly-malicious provider corrupts every stored payload.
+	for _, id := range ids {
+		blob, err := svc.GetBlob("reader-cell/vault/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob.Data[len(blob.Data)/2] ^= 0x01
+		if _, err := svc.PutBlob("reader-cell/vault/"+id, blob.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range cell.ReadBatch("owner", ids, AccessContext{}) {
+		if !errors.Is(r.Err, ErrIntegrity) {
+			t.Fatalf("corrupted payload not detected: %v", r.Err)
+		}
+	}
+	if n := cell.Usage().ActiveSessions(); n != 0 {
+		t.Fatalf("failed batch leaked %d active usage sessions", n)
+	}
+	for _, id := range ids {
+		if n := cell.Usage().UseCount(id, "owner"); n != 0 {
+			t.Fatalf("failed read counted as a use (%d)", n)
+		}
+	}
+}
+
+// TestCorruptCloudPayloadNotCached proves a payload that fails verification
+// is never written to the local cache: once the provider serves honest bytes
+// again, the next read succeeds instead of replaying the poisoned copy.
+func TestCorruptCloudPayloadNotCached(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell, ids, payloads := coldReadCell(t, svc, 1)
+	name := "reader-cell/vault/" + ids[0]
+	honest, err := svc.GetBlob(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), honest.Data...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if _, err := svc.PutBlob(name, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cell.Read("owner", ids[0], AccessContext{}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	if r := cell.ReadBatch("owner", ids, AccessContext{}); !errors.Is(r[0].Err, ErrIntegrity) {
+		t.Fatalf("batch corruption not detected: %v", r[0].Err)
+	}
+	// The provider repents; the cell must fetch fresh bytes, not a cached
+	// poisoned copy.
+	if _, err := svc.PutBlob(name, honest.Data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cell.Read("owner", ids[0], AccessContext{})
+	if err != nil || !bytes.Equal(got, payloads[0]) {
+		t.Fatalf("recovery read: %q %v", got, err)
+	}
+}

@@ -1,0 +1,217 @@
+package datamodel
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+var planBase = time.Date(2013, 1, 7, 0, 0, 0, 0, time.UTC)
+
+// planCatalog builds a catalog of n documents: every 10th is a "power-series"
+// owned by alice tagged home=h<i%4>, the rest are notes owned by bob.
+func planCatalog(t testing.TB, n int) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+	for i := 0; i < n; i++ {
+		d := &Document{
+			ID:        fmt.Sprintf("doc-%05d", i),
+			Owner:     "bob",
+			Type:      "note",
+			Class:     ClassAuthored,
+			Keywords:  []string{"common"},
+			CreatedAt: planBase.Add(time.Duration(i) * time.Minute),
+		}
+		if i%10 == 0 {
+			d.Owner = "alice"
+			d.Type = "power-series"
+			d.Class = ClassSensed
+			d.Keywords = []string{"common", "energy"}
+			d.Tags = map[string]string{"home": fmt.Sprintf("h%d", i%4)}
+		}
+		if err := cat.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func TestSearchPlanUsesMostSelectiveIndex(t *testing.T) {
+	cat := planCatalog(t, 1000)
+
+	// Type filter: the type index must drive, and nothing close to the full
+	// document map may be scanned.
+	docs, plan := cat.SearchPlan(Query{Type: "power-series"})
+	if len(docs) != 100 {
+		t.Fatalf("type search returned %d docs", len(docs))
+	}
+	if plan.Index != "type" || plan.Candidates != 100 || plan.Scanned != 100 {
+		t.Fatalf("type plan = %+v", plan)
+	}
+
+	// Tag filter with value: tag-key index drives, residual filter keeps the
+	// value constraint.
+	docs, plan = cat.SearchPlan(Query{TagKey: "home", TagValue: "h0"})
+	if plan.Index != "tag" || plan.Candidates != 100 {
+		t.Fatalf("tag plan = %+v", plan)
+	}
+	for _, d := range docs {
+		if d.Tags["home"] != "h0" {
+			t.Fatalf("tag value filter leaked %v", d.Tags)
+		}
+	}
+
+	// Time range: the time index drives and only the range is scanned.
+	docs, plan = cat.SearchPlan(Query{
+		After:  planBase.Add(100 * time.Minute),
+		Before: planBase.Add(200 * time.Minute),
+	})
+	if plan.Index != "time" || plan.Candidates != 100 || len(docs) != 100 {
+		t.Fatalf("time plan = %+v (%d docs)", plan, len(docs))
+	}
+
+	// Conjunction: the smallest index drives, the others are intersected.
+	docs, plan = cat.SearchPlan(Query{Type: "power-series", Owner: "alice", Keyword: "energy"})
+	if len(docs) != 100 || plan.Index == "scan" || len(plan.Intersected) != 2 {
+		t.Fatalf("conjunction plan = %+v (%d docs)", plan, len(docs))
+	}
+
+	// The whole block above must never have fallen back to a full scan.
+	st := cat.IndexStats()
+	if st.FullScans != 0 || st.IndexScans != st.Searches {
+		t.Fatalf("planner stats %+v", st)
+	}
+	if st.DocsScanned >= int64(cat.Len()) {
+		t.Fatalf("scanned %d docs across all searches, catalog has %d", st.DocsScanned, cat.Len())
+	}
+
+	// An unfiltered search is the one legitimate full scan.
+	cat.ResetIndexStats()
+	if docs := cat.Search(Query{}); len(docs) != 1000 {
+		t.Fatalf("unfiltered search returned %d", len(docs))
+	}
+	if st := cat.IndexStats(); st.FullScans != 1 {
+		t.Fatalf("unfiltered stats %+v", st)
+	}
+}
+
+func TestSearchPlanMatchesScanBaseline(t *testing.T) {
+	cat := planCatalog(t, 500)
+	queries := []Query{
+		{},
+		{Type: "power-series"},
+		{Type: "note", Limit: 7},
+		{Owner: "alice", TagKey: "home"},
+		{TagKey: "home", TagValue: "h2"},
+		{Keyword: "ENERGY"},
+		{Keyword: "energy", Type: "power-series", Owner: "alice"},
+		{After: planBase.Add(17 * time.Minute)},
+		{Before: planBase.Add(42 * time.Minute)},
+		{After: planBase.Add(10 * time.Minute), Before: planBase.Add(260 * time.Minute), Type: "power-series"},
+		{Keyword: "missing"},
+		{Type: "photo"},
+		{TagKey: "nope"},
+		{Owner: "alice", Limit: 3},
+	}
+	for _, q := range queries {
+		want := cat.SearchScan(q)
+		got := cat.Search(q)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %+v: planner disagrees with scan baseline\n got %d docs\nwant %d docs", q, len(got), len(want))
+		}
+	}
+}
+
+func TestSearchPlanEmptyEqualityIndexShortCircuits(t *testing.T) {
+	cat := planCatalog(t, 100)
+	docs, plan := cat.SearchPlan(Query{Type: "power-series", Owner: "nobody"})
+	if len(docs) != 0 || plan.Candidates != 0 || plan.Scanned != 0 {
+		t.Fatalf("expected empty short-circuit, plan = %+v (%d docs)", plan, len(docs))
+	}
+}
+
+func TestSearchPlanLimitTruncation(t *testing.T) {
+	cat := planCatalog(t, 200)
+	docs, plan := cat.SearchPlan(Query{Type: "note", Limit: 5})
+	if len(docs) != 5 || !plan.Truncated || plan.Matched != 180 {
+		t.Fatalf("limit plan = %+v (%d docs)", plan, len(docs))
+	}
+	// Newest-first order must hold across the truncation.
+	for i := 1; i < len(docs); i++ {
+		if docs[i].CreatedAt.After(docs[i-1].CreatedAt) {
+			t.Fatalf("results out of order")
+		}
+	}
+}
+
+func TestTimeIndexSurvivesOutOfOrderInsertsAndRemoves(t *testing.T) {
+	cat := NewCatalog()
+	// Insert in reverse creation order to dirty the lazy-sorted index.
+	for i := 9; i >= 0; i-- {
+		err := cat.Add(&Document{
+			ID: fmt.Sprintf("doc-%02d", i), Owner: "o", Type: "note",
+			CreatedAt: planBase.Add(time.Duration(i) * time.Hour),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, plan := cat.SearchPlan(Query{After: planBase.Add(2 * time.Hour), Before: planBase.Add(5 * time.Hour)})
+	if len(docs) != 3 || plan.Index != "time" {
+		t.Fatalf("after re-sort: %d docs, plan %+v", len(docs), plan)
+	}
+	if err := cat.Remove("doc-03"); err != nil {
+		t.Fatal(err)
+	}
+	if docs = cat.Search(Query{After: planBase.Add(2 * time.Hour), Before: planBase.Add(5 * time.Hour)}); len(docs) != 2 {
+		t.Fatalf("after remove: %d docs", len(docs))
+	}
+	// Update moves a document in time; the range must follow it.
+	moved := &Document{ID: "doc-04", Owner: "o", Type: "note", CreatedAt: planBase.Add(40 * time.Hour)}
+	if err := cat.Update(moved); err != nil {
+		t.Fatal(err)
+	}
+	if docs = cat.Search(Query{After: planBase.Add(2 * time.Hour), Before: planBase.Add(5 * time.Hour)}); len(docs) != 1 {
+		t.Fatalf("after update: %d docs", len(docs))
+	}
+}
+
+func TestKeywordCounts(t *testing.T) {
+	cat := planCatalog(t, 300)
+	counts := cat.KeywordCounts([]string{"common", "Energy", "missing"})
+	if counts["common"] != 300 || counts["Energy"] != 30 || counts["missing"] != 0 {
+		t.Fatalf("keyword counts %v", counts)
+	}
+}
+
+func TestCatalogConcurrentSearchAndMutate(t *testing.T) {
+	cat := planCatalog(t, 200)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = cat.Add(&Document{
+					ID: fmt.Sprintf("new-%d-%03d", w, i), Owner: "bob", Type: "note",
+					CreatedAt: planBase.Add(-time.Duration(i) * time.Second), // out of order
+				})
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cat.Search(Query{Type: "power-series"})
+				cat.Search(Query{After: planBase, Before: planBase.Add(time.Hour)})
+				cat.KeywordCounts([]string{"energy"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cat.Len(); got != 200+4*50 {
+		t.Fatalf("len after concurrent adds = %d", got)
+	}
+}

@@ -9,9 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"trustedcells/internal/crypto"
@@ -147,244 +145,4 @@ func DecodeDocument(data []byte) (*Document, error) {
 		return nil, err
 	}
 	return &d, nil
-}
-
-// Query describes a metadata-first search over the catalog. Zero-valued
-// fields are ignored; all set fields must match (conjunction).
-type Query struct {
-	Owner    string
-	Class    *DataClass
-	Type     string
-	Keyword  string
-	TagKey   string
-	TagValue string
-	After    time.Time
-	Before   time.Time
-	Limit    int
-}
-
-// Catalog is the in-cell metadata index. It is kept small enough to live in
-// the trusted cell (the paper: "at a minimum, trusted cells keep locally
-// extended metadata: access information, indexes, keywords and cryptographic
-// keys") and supports keyword, tag, class and time queries without touching
-// the cloud.
-type Catalog struct {
-	mu      sync.RWMutex
-	docs    map[string]*Document
-	keyword map[string]map[string]bool // keyword -> set of doc IDs
-}
-
-// NewCatalog creates an empty catalog.
-func NewCatalog() *Catalog {
-	return &Catalog{
-		docs:    make(map[string]*Document),
-		keyword: make(map[string]map[string]bool),
-	}
-}
-
-// Add inserts a document. The ID must be unique.
-func (c *Catalog) Add(d *Document) error {
-	if err := d.Validate(); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.docs[d.ID]; exists {
-		return ErrDuplicateID
-	}
-	clone := d.Clone()
-	c.docs[d.ID] = clone
-	c.indexKeywordsLocked(clone)
-	return nil
-}
-
-// Update replaces an existing document's metadata.
-func (c *Catalog) Update(d *Document) error {
-	if err := d.Validate(); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old, exists := c.docs[d.ID]
-	if !exists {
-		return ErrDocNotFound
-	}
-	c.unindexKeywordsLocked(old)
-	clone := d.Clone()
-	c.docs[d.ID] = clone
-	c.indexKeywordsLocked(clone)
-	return nil
-}
-
-// Get returns the document with the given ID.
-func (c *Catalog) Get(id string) (*Document, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d, ok := c.docs[id]
-	if !ok {
-		return nil, ErrDocNotFound
-	}
-	return d.Clone(), nil
-}
-
-// Remove deletes a document from the catalog.
-func (c *Catalog) Remove(id string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d, ok := c.docs[id]
-	if !ok {
-		return ErrDocNotFound
-	}
-	c.unindexKeywordsLocked(d)
-	delete(c.docs, id)
-	return nil
-}
-
-// Len returns the number of documents.
-func (c *Catalog) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
-}
-
-// Search evaluates a metadata query and returns matching documents sorted by
-// creation time (newest first), truncated to q.Limit if positive.
-func (c *Catalog) Search(q Query) []*Document {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-
-	var candidates []*Document
-	if q.Keyword != "" {
-		ids := c.keyword[normalizeKeyword(q.Keyword)]
-		for id := range ids {
-			candidates = append(candidates, c.docs[id])
-		}
-	} else {
-		for _, d := range c.docs {
-			candidates = append(candidates, d)
-		}
-	}
-
-	var out []*Document
-	for _, d := range candidates {
-		if d == nil || !matches(d, q) {
-			continue
-		}
-		out = append(out, d.Clone())
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].CreatedAt.Equal(out[j].CreatedAt) {
-			return out[i].ID < out[j].ID
-		}
-		return out[i].CreatedAt.After(out[j].CreatedAt)
-	})
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
-	}
-	return out
-}
-
-// All returns every document, sorted by ID. Intended for synchronization.
-func (c *Catalog) All() []*Document {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*Document, 0, len(c.docs))
-	for _, d := range c.docs {
-		out = append(out, d.Clone())
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-func matches(d *Document, q Query) bool {
-	if q.Owner != "" && d.Owner != q.Owner {
-		return false
-	}
-	if q.Class != nil && d.Class != *q.Class {
-		return false
-	}
-	if q.Type != "" && d.Type != q.Type {
-		return false
-	}
-	if q.Keyword != "" && !hasKeyword(d, q.Keyword) {
-		return false
-	}
-	if q.TagKey != "" {
-		v, ok := d.Tags[q.TagKey]
-		if !ok {
-			return false
-		}
-		if q.TagValue != "" && v != q.TagValue {
-			return false
-		}
-	}
-	if !q.After.IsZero() && d.CreatedAt.Before(q.After) {
-		return false
-	}
-	if !q.Before.IsZero() && !d.CreatedAt.Before(q.Before) {
-		return false
-	}
-	return true
-}
-
-func hasKeyword(d *Document, kw string) bool {
-	kw = normalizeKeyword(kw)
-	for _, k := range d.Keywords {
-		if normalizeKeyword(k) == kw {
-			return true
-		}
-	}
-	return false
-}
-
-func normalizeKeyword(k string) string {
-	return strings.ToLower(strings.TrimSpace(k))
-}
-
-func (c *Catalog) indexKeywordsLocked(d *Document) {
-	for _, k := range d.Keywords {
-		k = normalizeKeyword(k)
-		if k == "" {
-			continue
-		}
-		set := c.keyword[k]
-		if set == nil {
-			set = make(map[string]bool)
-			c.keyword[k] = set
-		}
-		set[d.ID] = true
-	}
-}
-
-func (c *Catalog) unindexKeywordsLocked(d *Document) {
-	for _, k := range d.Keywords {
-		k = normalizeKeyword(k)
-		if set := c.keyword[k]; set != nil {
-			delete(set, d.ID)
-			if len(set) == 0 {
-				delete(c.keyword, k)
-			}
-		}
-	}
-}
-
-// EncodeCatalog serialises all documents (for the encrypted metadata blob a
-// portable cell synchronizes with its vault).
-func (c *Catalog) EncodeCatalog() ([]byte, error) {
-	return json.Marshal(c.All())
-}
-
-// LoadCatalog rebuilds a catalog from EncodeCatalog output.
-func LoadCatalog(data []byte) (*Catalog, error) {
-	var docs []*Document
-	if err := json.Unmarshal(data, &docs); err != nil {
-		return nil, fmt.Errorf("datamodel: load catalog: %w", err)
-	}
-	c := NewCatalog()
-	for _, d := range docs {
-		if err := c.Add(d); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
 }

@@ -1,9 +1,16 @@
 // Package query provides the cross-document query facility the paper
 // motivates when it argues for "organizing all these data in a common
 // personal digital space, providing a consistent view, facilitating querying
-// and cross-analysis". It plans metadata-first queries over a trusted cell:
-// the catalog is consulted locally to select documents, and only then are the
-// (policy-checked) payload operations executed.
+// and cross-analysis".
+//
+// The engine executes a query in four stages: PLAN (the catalog's indexed
+// planner selects the matching documents without touching payloads),
+// BATCH-FETCH (all sealed payloads missing from the local cache come back in
+// one cloud round-trip), PARALLEL-OPEN (decryption and per-document
+// aggregation fan out across the cell's bounded worker pool), and
+// STREAMING-MERGE (per-document results fold into the merged answer one at a
+// time). The seed per-document path is kept as RunSeriesAggregateSequential,
+// the baseline experiment E10 measures the pipeline against.
 package query
 
 import (
@@ -37,6 +44,12 @@ func (e *Engine) Metadata(q datamodel.Query) ([]*datamodel.Document, error) {
 	return e.cell.Search(q)
 }
 
+// Explain runs a catalog query and returns the plan the catalog chose
+// alongside the results, without touching any payload.
+func (e *Engine) Explain(q datamodel.Query) ([]*datamodel.Document, datamodel.PlanInfo, error) {
+	return e.cell.SearchPlan(q)
+}
+
 // SeriesAggregate describes an aggregate query over all time-series documents
 // matching a metadata filter.
 type SeriesAggregate struct {
@@ -54,27 +67,106 @@ type SeriesResult struct {
 	Merged *timeseries.Series
 	// Denied counts documents the policy refused to open for this subject.
 	Denied int
+	// Plan explains how the catalog selected the candidate documents.
+	Plan datamodel.PlanInfo
 }
 
-// RunSeriesAggregate plans and executes the aggregate: metadata filtering is
-// local, then each matching document goes through the cell's reference
-// monitor (so per-document policies and granularity caps apply).
+// seriesMerger folds per-document aggregates into time buckets one document
+// at a time (the streaming-merge stage).
+type seriesMerger struct {
+	buckets map[time.Time]*mergeBucket
+}
+
+type mergeBucket struct {
+	sum   float64
+	count int
+}
+
+func newSeriesMerger() *seriesMerger {
+	return &seriesMerger{buckets: make(map[time.Time]*mergeBucket)}
+}
+
+func (m *seriesMerger) add(s *timeseries.Series) {
+	for _, p := range s.Points() {
+		b := m.buckets[p.Time]
+		if b == nil {
+			b = &mergeBucket{}
+			m.buckets[p.Time] = b
+		}
+		b.sum += p.Value
+		b.count++
+	}
+}
+
+func (m *seriesMerger) result(kind timeseries.AggregateKind) (*timeseries.Series, error) {
+	times := make([]time.Time, 0, len(m.buckets))
+	for ts := range m.buckets {
+		times = append(times, ts)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	out := timeseries.NewSeries(fmt.Sprintf("merged-%s", kind), "")
+	for _, ts := range times {
+		b := m.buckets[ts]
+		v := b.sum
+		if kind == timeseries.AggregateMean && b.count > 0 {
+			v = b.sum / float64(b.count)
+		}
+		if err := out.AppendValue(ts, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunSeriesAggregate plans and executes the aggregate through the batched
+// pipeline: the indexed catalog selects the documents, every payload missing
+// from the local cache arrives in ONE cloud exchange, decryption and
+// downsampling fan out across the cell's worker pool, and the per-document
+// aggregates stream into the merged series. Per-document policies and
+// granularity caps apply exactly as on the sequential path.
 func (e *Engine) RunSeriesAggregate(q SeriesAggregate) (*SeriesResult, error) {
 	filter := q.Filter
 	filter.Type = core.SeriesDocType
-	docs, err := e.cell.Search(filter)
+	docs, plan, err := e.cell.SearchPlan(filter)
 	if err != nil {
 		return nil, err
 	}
 	if len(docs) == 0 {
 		return nil, ErrNoDocuments
 	}
-	res := &SeriesResult{}
-	type bucket struct {
-		sum   float64
-		count int
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
 	}
-	merged := make(map[time.Time]*bucket)
+	res := &SeriesResult{Plan: plan}
+	merger := newSeriesMerger()
+	for _, r := range e.cell.AggregateBatch(e.subject, ids, q.Granularity, q.Kind, e.ctx) {
+		if r.Err != nil {
+			res.Denied++
+			continue
+		}
+		res.Documents = append(res.Documents, r.DocID)
+		merger.add(r.Series)
+	}
+	return e.finishSeries(res, q.Kind, merger)
+}
+
+// RunSeriesAggregateSequential is the seed read path kept as the E10
+// baseline: a full catalog scan selects the documents, then each one goes
+// through an individual policy-checked Aggregate — and thus up to one cloud
+// round-trip per document whose payload is not cached locally.
+func (e *Engine) RunSeriesAggregateSequential(q SeriesAggregate) (*SeriesResult, error) {
+	filter := q.Filter
+	filter.Type = core.SeriesDocType
+	docs, err := e.cell.SearchScan(filter)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNoDocuments
+	}
+	res := &SeriesResult{Plan: datamodel.PlanInfo{Index: "scan", Candidates: e.cell.Catalog().Len(), Matched: len(docs)}}
+	merger := newSeriesMerger()
 	for _, d := range docs {
 		agg, err := e.cell.Aggregate(e.subject, d.ID, q.Granularity, q.Kind, e.ctx)
 		if err != nil {
@@ -82,49 +174,28 @@ func (e *Engine) RunSeriesAggregate(q SeriesAggregate) (*SeriesResult, error) {
 			continue
 		}
 		res.Documents = append(res.Documents, d.ID)
-		for _, p := range agg.Points() {
-			b := merged[p.Time]
-			if b == nil {
-				b = &bucket{}
-				merged[p.Time] = b
-			}
-			b.sum += p.Value
-			b.count++
-		}
+		merger.add(agg)
 	}
+	return e.finishSeries(res, q.Kind, merger)
+}
+
+// finishSeries materialises the merged series and applies the shared
+// all-denied error semantics.
+func (e *Engine) finishSeries(res *SeriesResult, kind timeseries.AggregateKind, merger *seriesMerger) (*SeriesResult, error) {
 	if len(res.Documents) == 0 {
 		return res, fmt.Errorf("%w for subject %s", core.ErrAccessDenied, e.subject)
 	}
-	times := make([]time.Time, 0, len(merged))
-	for ts := range merged {
-		times = append(times, ts)
+	merged, err := merger.result(kind)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
-	out := timeseries.NewSeries(fmt.Sprintf("merged-%s", q.Kind), "")
-	for _, ts := range times {
-		b := merged[ts]
-		v := b.sum
-		if q.Kind == timeseries.AggregateMean && b.count > 0 {
-			v = b.sum / float64(b.count)
-		}
-		if err := out.AppendValue(ts, v); err != nil {
-			return nil, err
-		}
-	}
-	res.Merged = out
+	res.Merged = merged
 	return res, nil
 }
 
 // KeywordCount returns, for each keyword, the number of catalog documents
-// carrying it — a cheap metadata-only cross-analysis.
+// carrying it — a single pass over the catalog's keyword index; no document
+// metadata is cloned and no payload is touched.
 func (e *Engine) KeywordCount(keywords []string) (map[string]int, error) {
-	out := make(map[string]int, len(keywords))
-	for _, kw := range keywords {
-		docs, err := e.cell.Search(datamodel.Query{Keyword: kw})
-		if err != nil {
-			return nil, err
-		}
-		out[kw] = len(docs)
-	}
-	return out, nil
+	return e.cell.KeywordCounts(keywords)
 }

@@ -2,6 +2,7 @@ package query
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -136,5 +137,142 @@ func TestMetadataAndKeywordCount(t *testing.T) {
 	}
 	if counts["energy"] != 3 || counts["todo"] != 1 || counts["missing"] != 0 {
 		t.Fatalf("keyword counts %v", counts)
+	}
+}
+
+// coldQueryCell builds a cell with nSeries series documents plus filler
+// notes, syncs its vault, and returns a restored twin whose payload cache is
+// empty — every payload must come from the cloud, which is where the batched
+// pipeline pays one exchange and the sequential baseline pays one per
+// document.
+func coldQueryCell(t *testing.T, svc cloud.Service, nSeries, nNotes int) *core.Cell {
+	t.Helper()
+	builder, err := core.New(core.Config{
+		ID: "cold-gw", Class: tamper.ClassHomeGateway, Cloud: svc,
+		Seed: []byte("cold-seed"), Clock: func() time.Time { return start },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < nSeries; d++ {
+		s := timeseries.NewSeries("power", "W")
+		for i := 0; i < 24; i++ {
+			_ = s.AppendValue(start.Add(time.Duration(i)*time.Hour), float64(100*(d+1)))
+		}
+		if _, err := builder.IngestSeries(s, "day", []string{"energy"}, map[string]string{"meter": "linky"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := make([]core.IngestItem, nNotes)
+	for i := range items {
+		items[i] = core.IngestItem{Payload: []byte(fmt.Sprintf("note-%03d", i)),
+			Opts: core.IngestOptions{Class: datamodel.ClassAuthored, Type: "note"}}
+	}
+	if nNotes > 0 {
+		if _, err := builder.IngestBatch(items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := builder.SyncVault(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.New(core.Config{
+		ID: "cold-gw", Class: tamper.ClassHomeGateway, Cloud: svc,
+		Seed: []byte("cold-seed"), Clock: func() time.Time { return start },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.RestoreVault(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cold.AddRule(policy.Rule{ID: "household-agg", Effect: policy.EffectAllow,
+		SubjectGroups:  []string{"household"},
+		Actions:        []policy.Action{policy.ActionAggregate},
+		Resource:       policy.Resource{Type: core.SeriesDocType},
+		MaxGranularity: time.Hour,
+	})
+	return cold
+}
+
+// TestBatchedPipelineMatchesSequentialBaseline runs the same aggregate on
+// the batched pipeline and on the seed per-document path and requires
+// identical merged results — while the batched path does all its cloud
+// fetching in one exchange.
+func TestBatchedPipelineMatchesSequentialBaseline(t *testing.T) {
+	svc := cloud.NewMemory()
+	cell := coldQueryCell(t, svc, 4, 20)
+	eng := NewEngine(cell, "bob", core.AccessContext{Groups: []string{"household"}})
+	q := SeriesAggregate{Granularity: timeseries.GranularityHour, Kind: timeseries.AggregateSum}
+
+	gets0 := svc.Stats().Gets
+	batched, err := eng.RunSeriesAggregate(q)
+	if err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	batchedGets := svc.Stats().Gets - gets0
+
+	// A second, fresh cold cell for the sequential baseline.
+	svc2 := cloud.NewMemory()
+	cell2 := coldQueryCell(t, svc2, 4, 20)
+	eng2 := NewEngine(cell2, "bob", core.AccessContext{Groups: []string{"household"}})
+	gets0 = svc2.Stats().Gets
+	sequential, err := eng2.RunSeriesAggregateSequential(q)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	seqGets := svc2.Stats().Gets - gets0
+
+	if len(batched.Documents) != 4 || len(sequential.Documents) != 4 {
+		t.Fatalf("documents: batched %d sequential %d", len(batched.Documents), len(sequential.Documents))
+	}
+	if batched.Merged.Len() != sequential.Merged.Len() {
+		t.Fatalf("merged length: %d vs %d", batched.Merged.Len(), sequential.Merged.Len())
+	}
+	for i := 0; i < batched.Merged.Len(); i++ {
+		if batched.Merged.At(i).Value != sequential.Merged.At(i).Value {
+			t.Fatalf("bucket %d: %v vs %v", i, batched.Merged.At(i).Value, sequential.Merged.At(i).Value)
+		}
+	}
+	// Both paths fetched 4 payloads, but the plans differ: the batched path
+	// used the type index, the baseline scanned the whole catalog.
+	if batchedGets != seqGets {
+		t.Fatalf("blob gets: batched %d sequential %d", batchedGets, seqGets)
+	}
+	if batched.Plan.Index != "type" || batched.Plan.Scanned >= cell.Catalog().Len() {
+		t.Fatalf("batched plan %+v", batched.Plan)
+	}
+	if sequential.Plan.Index != "scan" {
+		t.Fatalf("sequential plan %+v", sequential.Plan)
+	}
+}
+
+func TestExplainExposesThePlan(t *testing.T) {
+	cell := newCellWithSeries(t, 3)
+	eng := NewEngine(cell, "alice", core.AccessContext{})
+	docs, plan, err := eng.Explain(datamodel.Query{TagKey: "meter", TagValue: "linky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 || plan.Index != "tag" {
+		t.Fatalf("explain: %d docs, plan %+v", len(docs), plan)
+	}
+}
+
+// TestKeywordCountSinglePass proves KeywordCount no longer runs one search
+// per keyword: the catalog search counters stay untouched.
+func TestKeywordCountSinglePass(t *testing.T) {
+	cell := newCellWithSeries(t, 2)
+	eng := NewEngine(cell, "alice", core.AccessContext{})
+	cell.Catalog().ResetIndexStats()
+	counts, err := eng.KeywordCount([]string{"energy", "todo", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["energy"] != 3 || counts["todo"] != 1 || counts["missing"] != 0 {
+		t.Fatalf("keyword counts %v", counts)
+	}
+	if st := cell.Catalog().IndexStats(); st.Searches != 0 || st.DocsScanned != 0 {
+		t.Fatalf("KeywordCount ran searches: %+v", st)
 	}
 }

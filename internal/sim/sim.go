@@ -90,7 +90,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -114,6 +114,8 @@ func Run(id string) (*Table, error) {
 		return RunE8(DefaultE8Config())
 	case "e9":
 		return RunE9(DefaultE9Config())
+	case "e10":
+		return RunE10(DefaultE10Config())
 	case "fig1":
 		return RunFig1()
 	default:

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(ids))
+	if len(ids) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(ids))
 	}
 }
 
@@ -223,6 +223,47 @@ func TestRunE9Shape(t *testing.T) {
 		if bat < 1.5*seq {
 			t.Fatalf("sharded/batched path not faster: seq=%.0f batched=%.0f\n%s", seq, bat, table)
 		}
+	}
+}
+
+// TestRunE10Shape verifies the read/query pipeline experiment: the
+// indexed+batched path must beat the seed per-document path, and its planner
+// must not scan anywhere near the whole catalog.
+func TestRunE10Shape(t *testing.T) {
+	cfg := DefaultE10Config()
+	cfg.CatalogSizes = []int{2000}
+	cfg.Partitions = 16
+	// A larger simulated round-trip keeps the measurement dominated by the
+	// provider exchanges being counted, not by CPU — the race detector slows
+	// compute by an order of magnitude and would otherwise drown the signal.
+	cfg.RTT = 20 * time.Millisecond
+	res, err := RunE10Size(cfg, 2000)
+	if err != nil {
+		t.Fatalf("RunE10Size: %v", err)
+	}
+	if res.SequentialQPS <= 0 || res.BatchedQPS <= 0 {
+		t.Fatalf("throughput must be positive: %+v", res)
+	}
+	// One batched exchange per query instead of one round-trip per document;
+	// even on a loaded single-core runner the pipeline must stay ahead.
+	if res.Speedup < 1.5 {
+		t.Fatalf("indexed/batched path not faster: %+v", res)
+	}
+	// The sequential baseline scans the whole catalog per query; the planner
+	// must only consider the indexed candidates.
+	if res.SeqScannedPerQuery != float64(res.CatalogDocs) {
+		t.Fatalf("baseline should full-scan: %+v", res)
+	}
+	if res.BatScannedPerQuery >= float64(res.CatalogDocs)/2 {
+		t.Fatalf("planner scans too much of the catalog: %+v", res)
+	}
+	table, err := RunE10(E10Config{CatalogSizes: []int{1000}, Readers: 4, Partitions: 8,
+		DocsPerPartition: 4, PointsPerSeries: 12, RTT: cfg.RTT, Shards: cfg.Shards})
+	if err != nil {
+		t.Fatalf("RunE10: %v", err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Options configure a KV engine instance.
@@ -44,7 +45,14 @@ type KV struct {
 	mem    *memtable
 	runs   []*run // oldest first; newer runs shadow older ones
 	closed bool
-	stats  Stats
+	stats  kvCounters
+}
+
+// kvCounters backs Stats with atomics: Get counts itself under the engine's
+// read lock, so many readers may increment concurrently.
+type kvCounters struct {
+	puts, gets, deletes  atomic.Int64
+	flushes, compactions atomic.Int64
 }
 
 // NewKV creates an engine over dev with the given options.
@@ -65,7 +73,7 @@ func (kv *KV) Put(key, value []byte) error {
 	if kv.closed {
 		return ErrClosed
 	}
-	kv.stats.Puts++
+	kv.stats.puts.Add(1)
 	kv.mem.put(key, value, false)
 	return kv.maybeFlushLocked()
 }
@@ -80,7 +88,7 @@ func (kv *KV) Delete(key []byte) error {
 	if kv.closed {
 		return ErrClosed
 	}
-	kv.stats.Deletes++
+	kv.stats.deletes.Add(1)
 	kv.mem.put(key, nil, true)
 	return kv.maybeFlushLocked()
 }
@@ -92,7 +100,7 @@ func (kv *KV) Get(key []byte) ([]byte, error) {
 	if kv.closed {
 		return nil, ErrClosed
 	}
-	kv.stats.Gets++
+	kv.stats.gets.Add(1)
 	if e, ok := kv.mem.get(key); ok {
 		if e.tombstone {
 			return nil, ErrNotFound
@@ -185,11 +193,16 @@ func (kv *KV) Compact() error {
 func (kv *KV) Stats() Stats {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
-	s := kv.stats
-	s.Runs = len(kv.runs)
-	s.MemtableLen = kv.mem.count()
-	s.MemtableB = kv.mem.size()
-	return s
+	return Stats{
+		Puts:        kv.stats.puts.Load(),
+		Gets:        kv.stats.gets.Load(),
+		Deletes:     kv.stats.deletes.Load(),
+		Flushes:     kv.stats.flushes.Load(),
+		Compactions: kv.stats.compactions.Load(),
+		Runs:        len(kv.runs),
+		MemtableLen: kv.mem.count(),
+		MemtableB:   kv.mem.size(),
+	}
 }
 
 // Close flushes and closes the engine.
@@ -244,7 +257,7 @@ func (kv *KV) flushLocked() error {
 	}
 	kv.runs = append(kv.runs, r)
 	kv.mem = newMemtable()
-	kv.stats.Flushes++
+	kv.stats.flushes.Add(1)
 	return nil
 }
 
@@ -259,7 +272,7 @@ func (kv *KV) compactLocked() error {
 			live = append(live, e)
 		}
 	}
-	kv.stats.Compactions++
+	kv.stats.compactions.Add(1)
 	if len(live) == 0 {
 		kv.runs = nil
 		kv.mem = newMemtable()

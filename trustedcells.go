@@ -40,6 +40,7 @@ import (
 	"trustedcells/internal/crypto"
 	"trustedcells/internal/datamodel"
 	"trustedcells/internal/policy"
+	"trustedcells/internal/query"
 	"trustedcells/internal/sensor"
 	"trustedcells/internal/sim"
 	"trustedcells/internal/tamper"
@@ -71,6 +72,35 @@ type Document = datamodel.Document
 
 // Query is a metadata query over a cell's catalog.
 type Query = datamodel.Query
+
+// PlanInfo explains how the catalog's planner executed one search: the
+// driving index, the intersected indexes, and how much of the catalog was
+// touched (see Cell.SearchPlan and QueryEngine.Explain).
+type PlanInfo = datamodel.PlanInfo
+
+// CatalogIndexStats accumulates planner counters across searches (see
+// Catalog.IndexStats).
+type CatalogIndexStats = datamodel.IndexStats
+
+// ReadResult is the outcome for one document of a Cell.ReadBatch call, which
+// fetches all payloads missing from the local cache in one cloud round-trip.
+type ReadResult = core.ReadResult
+
+// AggregateResult is the outcome for one document of a Cell.AggregateBatch
+// call.
+type AggregateResult = core.AggregateResult
+
+// QueryEngine executes cross-document queries against a cell on behalf of a
+// subject through the planned, batched read pipeline: indexed catalog plan,
+// one batched cloud exchange per query, parallel decryption, streaming merge.
+type QueryEngine = query.Engine
+
+// SeriesAggregate describes an aggregate query over every series document
+// matching a metadata filter; SeriesResult is its merged outcome.
+type (
+	SeriesAggregate = query.SeriesAggregate
+	SeriesResult    = query.SeriesResult
+)
 
 // Rule is one access-control rule; Condition restricts when it applies;
 // Action and Effect are its vocabulary; Credential is a signed attribute
@@ -147,6 +177,12 @@ const (
 // NewCell creates, provisions and unlocks a trusted cell.
 func NewCell(cfg CellConfig) (*Cell, error) { return core.New(cfg) }
 
+// NewQueryEngine builds a query engine over cell for subject with the given
+// access context.
+func NewQueryEngine(cell *Cell, subject string, ctx AccessContext) *QueryEngine {
+	return query.NewEngine(cell, subject, ctx)
+}
+
 // NewPairingSecret generates a pairing secret to install on two cells that
 // want to exchange data securely.
 func NewPairingSecret() (crypto.SymmetricKey, error) { return core.NewPairingSecret() }
@@ -207,8 +243,8 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e9, fig1) with its
-// default configuration and returns the result table.
+// RunExperiment runs one of the DESIGN.md experiments (e1..e10, fig1) with
+// its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
 // ExperimentIDs lists the available experiment identifiers.

@@ -90,3 +90,58 @@ func TestFacadeCredentials(t *testing.T) {
 		t.Fatalf("NewPairingSecret: %v", err)
 	}
 }
+
+// TestFacadeQueryPipeline drives the planned, batched read path through the
+// public facade: indexed search plans, a batched read, and the query engine.
+func TestFacadeQueryPipeline(t *testing.T) {
+	svc := NewMemoryCloud()
+	cell, err := NewCell(CellConfig{ID: "lib-gw", Class: ClassHomeGateway, Cloud: svc,
+		Seed: []byte("lib"), Clock: func() time.Time { return start }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for d := 0; d < 3; d++ {
+		s := NewSeries("power", "W")
+		for i := 0; i < 24; i++ {
+			_ = s.AppendValue(start.Add(time.Duration(i)*time.Hour), float64(100*(d+1)))
+		}
+		doc, err := cell.IngestSeries(s, "day", []string{"energy"}, map[string]string{"meter": "linky"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, doc.ID)
+	}
+	if err := cell.AddRule(Rule{ID: "reader", Effect: EffectAllow, SubjectIDs: []string{"alice"},
+		Actions: []Action{ActionRead, ActionAggregate}, MaxGranularity: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Indexed search plan through the facade.
+	docs, plan, err := cell.SearchPlan(Query{TagKey: "meter", TagValue: "linky"})
+	if err != nil || len(docs) != 3 {
+		t.Fatalf("SearchPlan: %d docs, %v", len(docs), err)
+	}
+	if plan.Index != "tag" {
+		t.Fatalf("plan %+v", plan)
+	}
+
+	// Batched read through the facade.
+	results := cell.ReadBatch("alice", ids, AccessContext{})
+	for _, r := range results {
+		if r.Err != nil || len(r.Payload) == 0 {
+			t.Fatalf("ReadBatch %s: %v", r.DocID, r.Err)
+		}
+	}
+
+	// The query engine merges per-document aggregates.
+	eng := NewQueryEngine(cell, "alice", AccessContext{})
+	res, err := eng.RunSeriesAggregate(SeriesAggregate{
+		Granularity: GranularityHour, Kind: AggregateSum})
+	if err != nil {
+		t.Fatalf("RunSeriesAggregate: %v", err)
+	}
+	if len(res.Documents) != 3 || res.Merged.At(0).Value != 600 {
+		t.Fatalf("merged result %+v", res)
+	}
+}
