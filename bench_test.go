@@ -2,7 +2,7 @@ package trustedcells
 
 // This file holds one benchmark per experiment of the evaluation suite
 // defined in DESIGN.md (the paper itself, a vision paper, has no tables or
-// figures; E1–E9 and the Figure 1 walk-through are the synthetic suite that
+// figures; E1–E11 and the Figure 1 walk-through are the synthetic suite that
 // substantiates each architectural claim). The same code paths back
 // cmd/tcbench, which prints the full tables; the benchmarks here measure the
 // cost of regenerating each experiment and keep them exercised by
@@ -179,6 +179,41 @@ func BenchmarkE10QueryThroughput(b *testing.B) {
 	if seqQPS > 0 {
 		b.ReportMetric(batQPS/seqQPS, "speedup")
 	}
+}
+
+// BenchmarkE11DeltaSync measures experiment E11 at its default scale — 8
+// replicas of a 10k-document catalog under a seeded intermittent-connectivity
+// schedule — on both replication protocols, and attaches the sealed bytes
+// each moved plus their ratio as benchmark metrics. The byte counts are
+// deterministic for the seed; EXPERIMENTS.md records the reference numbers
+// and the delta protocol is expected to move at least 5x fewer bytes.
+func BenchmarkE11DeltaSync(b *testing.B) {
+	cfg := sim.DefaultE11Config()
+	var fullBytes, deltaBytes, rounds float64
+	for i := 0; i < b.N; i++ {
+		full, err := sim.RunE11Path(cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta, err := sim.RunE11Path(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !full.Converged || !delta.Converged {
+			b.Fatalf("replicas did not converge: full=%+v delta=%+v", full, delta)
+		}
+		fullBytes += float64(full.SyncBytes)
+		deltaBytes += float64(delta.SyncBytes)
+		rounds += float64(delta.Rounds)
+	}
+	fullBytes /= float64(b.N)
+	deltaBytes /= float64(b.N)
+	b.ReportMetric(fullBytes/(1<<20), "full-sync-MB")
+	b.ReportMetric(deltaBytes/(1<<20), "delta-sync-MB")
+	if deltaBytes > 0 {
+		b.ReportMetric(fullBytes/deltaBytes, "bytes-ratio")
+	}
+	b.ReportMetric(rounds/float64(b.N), "recovery-rounds")
 }
 
 // BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture

@@ -1,19 +1,30 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E10) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E11) plus the Figure 1 architecture walk-through.
 //
 //	tcbench -experiment all          # run everything
 //	tcbench -experiment e4           # one experiment
-//	tcbench -run e10                 # filter flag: just the query pipeline
-//	tcbench -run e9,e10              # comma-separated filter
+//	tcbench -run e11                 # filter flag: just the replication study
+//	tcbench -run e9,e10,e11 -quick   # CI-sized configurations
+//	tcbench -run e11 -json -out BENCH_E11.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E11.json
 //	tcbench -experiment fig1 -out report.txt
+//
+// The -json flag emits the same tables machine-readably, including each
+// experiment's headline Metrics; CI and humans consume the same output path.
+// The -gate mode compares a previously emitted JSON report against a
+// committed baseline of metric floors and exits non-zero when any metric
+// regresses beyond the baseline's tolerance — the bench-trend gate CI runs on
+// every pull request.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"trustedcells/internal/sim"
@@ -21,11 +32,22 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e10, fig1) or 'all'")
-		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e10' or 'e9,e10'); overrides -experiment")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e11, fig1) or 'all'")
+		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e11' or 'e9,e10,e11'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
+		jsonOut    = flag.Bool("json", false, "emit JSON (tables + metrics) instead of rendered text")
+		quick      = flag.Bool("quick", false, "CI-sized configurations (headline scale point only)")
+		gate       = flag.String("gate", "", "baseline file: compare a -json report (see -in) against committed metric floors and fail on regression")
+		in         = flag.String("in", "", "with -gate: the -json report to check (default: run the experiments fresh)")
 	)
 	flag.Parse()
+
+	if *gate != "" {
+		if err := runGate(*gate, *in, *run, *quick); err != nil {
+			log.Fatalf("tcbench: %v", err)
+		}
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -37,22 +59,49 @@ func main() {
 		w = f
 	}
 
-	ids, err := selectExperiments(*experiment, *run)
+	tables, err := runExperiments(*experiment, *run, *quick)
 	if err != nil {
 		log.Fatalf("tcbench: %v", err)
 	}
-	for _, id := range ids {
-		table, err := sim.Run(id)
-		if err != nil {
-			log.Fatalf("tcbench: experiment %s: %v", id, err)
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			log.Fatalf("tcbench: encoding JSON: %v", err)
 		}
-		if err := table.Render(w); err != nil {
-			log.Fatalf("tcbench: rendering %s: %v", id, err)
+	} else {
+		for _, table := range tables {
+			if err := table.Render(w); err != nil {
+				log.Fatalf("tcbench: rendering %s: %v", table.ID, err)
+			}
 		}
 	}
 	if *out != "" {
-		fmt.Printf("tcbench: wrote %d experiment(s) to %s\n", len(ids), *out)
+		fmt.Printf("tcbench: wrote %d experiment(s) to %s\n", len(tables), *out)
 	}
+}
+
+// runExperiments resolves the selection flags and runs every selected
+// experiment, quick-sized when asked.
+func runExperiments(experiment, run string, quick bool) ([]*sim.Table, error) {
+	ids, err := selectExperiments(experiment, run)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]*sim.Table, 0, len(ids))
+	for _, id := range ids {
+		var table *sim.Table
+		if quick {
+			table, err = sim.RunQuick(id)
+		} else {
+			table, err = sim.Run(id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		tables = append(tables, table)
+	}
+	return tables, nil
 }
 
 // selectExperiments resolves the -experiment / -run flags into the list of
@@ -87,4 +136,86 @@ func selectExperiments(experiment, run string) ([]string, error) {
 		return sim.ExperimentIDs(), nil
 	}
 	return pick(experiment)
+}
+
+// baseline is the committed bench-trend floor file. Floors are deliberately
+// conservative — they exist to catch order-of-magnitude regressions on shared
+// CI runners, not to benchmark the runner — and a metric fails the gate when
+// it drops more than Tolerance below its floor.
+type baseline struct {
+	// Tolerance is the fraction a metric may fall below its floor before the
+	// gate fails (0.25 = fail when regressed >25% against the baseline).
+	Tolerance float64 `json:"tolerance"`
+	// Metrics maps "<experiment>.<metric>" (e.g. "e11.bytes_ratio") to its
+	// floor. All gated metrics are higher-is-better.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// runGate loads the baseline and a JSON report (from -in, or freshly run) and
+// fails on any gated metric regressing beyond the tolerance.
+func runGate(gateFile, inFile, run string, quick bool) error {
+	raw, err := os.ReadFile(gateFile)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate: parsing %s: %w", gateFile, err)
+	}
+	if base.Tolerance <= 0 || base.Tolerance >= 1 {
+		return fmt.Errorf("gate: %s: tolerance %v out of (0,1)", gateFile, base.Tolerance)
+	}
+
+	var tables []*sim.Table
+	if inFile != "" {
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return fmt.Errorf("gate: %w", err)
+		}
+		if err := json.Unmarshal(data, &tables); err != nil {
+			return fmt.Errorf("gate: parsing %s: %w", inFile, err)
+		}
+	} else {
+		if run == "" {
+			run = "e9,e10,e11"
+		}
+		if tables, err = runExperiments("", run, quick); err != nil {
+			return fmt.Errorf("gate: %w", err)
+		}
+	}
+	current := make(map[string]float64)
+	for _, t := range tables {
+		for name, v := range t.Metrics {
+			current[strings.ToLower(t.ID)+"."+name] = v
+		}
+	}
+
+	keys := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := 0
+	for _, key := range keys {
+		floor := base.Metrics[key]
+		got, ok := current[key]
+		switch {
+		case !ok:
+			failed++
+			fmt.Printf("FAIL %-28s missing from report (floor %.2f)\n", key, floor)
+		case got < floor*(1-base.Tolerance):
+			failed++
+			fmt.Printf("FAIL %-28s %.2f < %.2f (floor %.2f - %.0f%%)\n",
+				key, got, floor*(1-base.Tolerance), floor, base.Tolerance*100)
+		default:
+			fmt.Printf("ok   %-28s %.2f (floor %.2f, tolerance %.0f%%)\n",
+				key, got, floor, base.Tolerance*100)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench-trend gate: %d metric(s) regressed >%.0f%% against %s",
+			failed, base.Tolerance*100, gateFile)
+	}
+	fmt.Printf("bench-trend gate: %d metric(s) within tolerance\n", len(keys))
+	return nil
 }

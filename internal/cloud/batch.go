@@ -28,6 +28,28 @@ type BatchService interface {
 	GetBlobs(names []string) ([]Blob, error)
 }
 
+// CondGet names one blob of a conditional batched fetch: the blob's data is
+// wanted only if its stored version is strictly greater than IfNewer. Passing
+// IfNewer 0 fetches unconditionally.
+type CondGet struct {
+	Name    string `json:"name"`
+	IfNewer int    `json:"if_newer"`
+}
+
+// ConditionalBatchService is the optional conditional-fetch extension of
+// Service. It is what makes delta synchronization cheap: a replica lists every
+// shard it replicates together with the last version it merged, and the
+// provider ships payload bytes only for the shards that actually advanced —
+// the HTTP analogy is a batched If-None-Match. Callers should not type-assert
+// it themselves; GetBlobsIfVia picks the fast path when it exists.
+type ConditionalBatchService interface {
+	// GetBlobsIf returns one Blob per request, in argument order. A blob whose
+	// stored version is still <= IfNewer comes back with its current Version
+	// but nil Data; a missing name yields a zero Blob (Version 0). The whole
+	// batch shares one round-trip.
+	GetBlobsIf(gets []CondGet) ([]Blob, error)
+}
+
 // PutBlobsVia uploads a batch of blobs through svc, using the BatchService
 // fast path when svc implements it and falling back to sequential PutBlob
 // calls otherwise. The fallback stops at the first error.
@@ -64,6 +86,31 @@ func GetBlobsVia(svc Service, names []string) ([]Blob, error) {
 			return nil, err
 		}
 		blobs[i] = b
+	}
+	return blobs, nil
+}
+
+// GetBlobsIfVia fetches a batch of blobs conditionally through svc, using the
+// ConditionalBatchService fast path when svc implements it. On any other
+// Service it degrades to a plain batched fetch and discards the data of blobs
+// that did not advance client-side — correct, but without the bandwidth
+// savings the conditional protocol exists for.
+func GetBlobsIfVia(svc Service, gets []CondGet) ([]Blob, error) {
+	if cs, ok := svc.(ConditionalBatchService); ok {
+		return cs.GetBlobsIf(gets)
+	}
+	names := make([]string, len(gets))
+	for i, g := range gets {
+		names[i] = g.Name
+	}
+	blobs, err := GetBlobsVia(svc, names)
+	if err != nil {
+		return nil, err
+	}
+	for i := range blobs {
+		if blobs[i].Version <= gets[i].IfNewer {
+			blobs[i].Data = nil
+		}
 	}
 	return blobs, nil
 }

@@ -107,6 +107,55 @@ func TestViaHelpersFallBackWithoutBatchService(t *testing.T) {
 	}
 }
 
+func TestGetBlobsIfSkipsUnadvanced(t *testing.T) {
+	m := NewMemoryShards(4)
+	_, _ = m.PutBlob("shard/0", []byte("v1-0"))
+	_, _ = m.PutBlob("shard/1", []byte("v1-1"))
+	v2, _ := m.PutBlob("shard/1", []byte("v2-1"))
+	blobs, err := m.GetBlobsIf([]CondGet{
+		{Name: "shard/0", IfNewer: 1}, // current version 1: not advanced
+		{Name: "shard/1", IfNewer: 1}, // current version 2: advanced
+		{Name: "missing", IfNewer: 0},
+	})
+	if err != nil {
+		t.Fatalf("GetBlobsIf: %v", err)
+	}
+	if blobs[0].Version != 1 || blobs[0].Data != nil {
+		t.Fatalf("unadvanced blob should ship version only: %+v", blobs[0])
+	}
+	if blobs[1].Version != v2 || string(blobs[1].Data) != "v2-1" {
+		t.Fatalf("advanced blob should ship data: %+v", blobs[1])
+	}
+	if blobs[2].Version != 0 {
+		t.Fatalf("missing blob should be zero: %+v", blobs[2])
+	}
+	// IfNewer 0 fetches unconditionally.
+	blobs, err = m.GetBlobsIf([]CondGet{{Name: "shard/0"}})
+	if err != nil || string(blobs[0].Data) != "v1-0" {
+		t.Fatalf("unconditional fetch: %+v %v", blobs, err)
+	}
+}
+
+func TestGetBlobsIfViaFallsBackWithoutConditionalService(t *testing.T) {
+	svc := fullService{inner: NewMemory()}
+	if _, ok := Service(svc).(ConditionalBatchService); ok {
+		t.Fatal("test double must not implement ConditionalBatchService")
+	}
+	_, _ = svc.PutBlob("x", []byte("1"))
+	_, _ = svc.PutBlob("y", []byte("1"))
+	_, _ = svc.PutBlob("y", []byte("2"))
+	blobs, err := GetBlobsIfVia(svc, []CondGet{{Name: "x", IfNewer: 1}, {Name: "y", IfNewer: 1}})
+	if err != nil {
+		t.Fatalf("GetBlobsIfVia fallback: %v", err)
+	}
+	if blobs[0].Version != 1 || blobs[0].Data != nil {
+		t.Fatalf("fallback should strip unadvanced data: %+v", blobs[0])
+	}
+	if blobs[1].Version != 2 || string(blobs[1].Data) != "2" {
+		t.Fatalf("fallback should keep advanced data: %+v", blobs[1])
+	}
+}
+
 // TestShardedMemoryConcurrentStress hammers every operation of the sharded
 // store from many goroutines. Run under -race (the CI does) it is the
 // regression test for the lock-striping refactor; without -race it still

@@ -441,6 +441,38 @@ func (m *Memory) GetBlobs(names []string) ([]Blob, error) {
 	return blobs, nil
 }
 
+// GetBlobsIf implements ConditionalBatchService: blobs whose stored version is
+// still <= the requested IfNewer come back with their current Version but no
+// data, so a synchronizing replica pays only for the shards that advanced.
+// The adversary still acts through getLocked on the blobs that are shipped,
+// exactly as it would on an unconditional fetch.
+func (m *Memory) GetBlobsIf(gets []CondGet) ([]Blob, error) {
+	if err := m.checkIn(); err != nil {
+		return nil, err
+	}
+	blobs := make([]Blob, len(gets))
+	for _, group := range m.groupByShard(len(gets), func(i int) string { return gets[i].Name }) {
+		s := m.shards[group.shard]
+		s.mu.RLock()
+		for _, i := range group.indices {
+			cur, ok := s.blobs[gets[i].Name]
+			if !ok {
+				continue
+			}
+			if cur.Version <= gets[i].IfNewer {
+				m.stats.gets.Add(1)
+				blobs[i] = Blob{Name: cur.Name, Version: cur.Version, Stored: cur.Stored}
+				continue
+			}
+			if b, err := m.getLocked(s, gets[i].Name); err == nil {
+				blobs[i] = b
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return blobs, nil
+}
+
 // shardGroup lists the argument indices that landed on one shard.
 type shardGroup struct {
 	shard   int

@@ -26,6 +26,7 @@ type rpcRequest struct {
 	Message   Message   `json:"message,omitempty"`
 	Puts      []BlobPut `json:"puts,omitempty"`
 	Names     []string  `json:"names,omitempty"`
+	Gets      []CondGet `json:"gets,omitempty"`
 }
 
 // rpcResponse is the wire format of a response.
@@ -131,6 +132,10 @@ func (s *Server) dispatch(req rpcRequest) rpcResponse {
 		resp.Err = errString(err)
 	case "getb":
 		blobs, err := GetBlobsVia(s.svc, req.Names)
+		resp.Blobs = blobs
+		resp.Err = errString(err)
+	case "getc":
+		blobs, err := GetBlobsIfVia(s.svc, req.Gets)
 		resp.Blobs = blobs
 		resp.Err = errString(err)
 	case "send":
@@ -351,6 +356,42 @@ func (c *Client) GetBlobs(names []string) ([]Blob, error) {
 		}
 	}
 	return blobs, nil
+}
+
+// GetBlobsIf implements ConditionalBatchService over the wire: the whole
+// conditional batch is one request/response exchange, and the server only
+// ships data for the blobs that advanced past the requested versions. If the
+// server predates the conditional protocol, the client falls back to an
+// unconditional GetBlobs and filters locally — correct, without the
+// bandwidth savings.
+func (c *Client) GetBlobsIf(gets []CondGet) ([]Blob, error) {
+	resp, err := c.call(rpcRequest{Op: "getc", Gets: gets})
+	if err != nil {
+		return nil, err
+	}
+	if unknownOp(resp) {
+		names := make([]string, len(gets))
+		for i, g := range gets {
+			names[i] = g.Name
+		}
+		blobs, err := c.GetBlobs(names)
+		if err != nil {
+			return nil, err
+		}
+		for i := range blobs {
+			if blobs[i].Version <= gets[i].IfNewer {
+				blobs[i].Data = nil
+			}
+		}
+		return blobs, nil
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Blobs) != len(gets) {
+		return nil, fmt.Errorf("cloud: conditional batch get: server returned %d blobs for %d requests", len(resp.Blobs), len(gets))
+	}
+	return resp.Blobs, nil
 }
 
 // Send implements Service.

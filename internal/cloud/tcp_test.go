@@ -132,6 +132,32 @@ func TestTCPBatchRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTCPConditionalBatchGet(t *testing.T) {
+	mem := NewMemory()
+	client := startServer(t, mem)
+
+	_, _ = client.PutBlob("sync/0", []byte("a1"))
+	_, _ = client.PutBlob("sync/1", []byte("b1"))
+	_, _ = client.PutBlob("sync/1", []byte("b2"))
+	blobs, err := client.GetBlobsIf([]CondGet{
+		{Name: "sync/0", IfNewer: 1},
+		{Name: "sync/1", IfNewer: 1},
+		{Name: "sync/2", IfNewer: 0},
+	})
+	if err != nil {
+		t.Fatalf("GetBlobsIf over TCP: %v", err)
+	}
+	if blobs[0].Version != 1 || len(blobs[0].Data) != 0 {
+		t.Fatalf("unadvanced blob should ship no data over the wire: %+v", blobs[0])
+	}
+	if blobs[1].Version != 2 || !bytes.Equal(blobs[1].Data, []byte("b2")) {
+		t.Fatalf("advanced blob: %+v", blobs[1])
+	}
+	if blobs[2].Version != 0 {
+		t.Fatalf("missing blob should be zero: %+v", blobs[2])
+	}
+}
+
 func TestTCPPipelining(t *testing.T) {
 	mem := NewMemory()
 	client := startServer(t, mem)

@@ -22,6 +22,7 @@ import (
 	"trustedcells/internal/datamodel"
 	"trustedcells/internal/policy"
 	"trustedcells/internal/storage"
+	syncpkg "trustedcells/internal/sync"
 	"trustedcells/internal/tamper"
 	"trustedcells/internal/timeseries"
 	"trustedcells/internal/ucon"
@@ -91,6 +92,13 @@ type Cell struct {
 	approvalStatus    map[string]ApprovalStatus
 	approvalHash      map[string]string
 	incomingApprovals map[string]ApprovalRequest
+	// replica, when attached, mirrors every owner ingest into the sharded
+	// anti-entropy synchronizer so the user's other cells converge on the
+	// same metadata catalog (see AttachReplica). Documents received from
+	// *other* users via the sharing protocol are deliberately not mirrored:
+	// their keys are wrapped for this cell alone, so replicating their
+	// metadata would hand sibling cells entries they cannot open.
+	replica *syncpkg.Replica
 }
 
 // New creates, provisions and unlocks a cell.
@@ -211,6 +219,81 @@ func (c *Cell) AttachUsagePolicy(p ucon.Policy) error {
 	return c.usage.Attach(p)
 }
 
+// AttachReplica connects a catalog replica to the cell: from now on every
+// ingested document is mirrored into the replica (marking its shard dirty),
+// so a later SyncCatalog pushes exactly the changed shards to the user's
+// other cells. Documents received through the sharing protocol stay
+// cell-local (their wrapped keys only open here). The replica should be
+// built over the same cloud service and user ID as the cell.
+func (c *Cell) AttachReplica(r *syncpkg.Replica) {
+	c.mu.Lock()
+	c.replica = r
+	c.mu.Unlock()
+}
+
+// Replica returns the attached catalog replica (nil when none is attached).
+func (c *Cell) Replica() *syncpkg.Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replica
+}
+
+// mirrorToReplica records a catalog mutation in the attached replica, if any.
+func (c *Cell) mirrorToReplica(doc *datamodel.Document) {
+	if r := c.Replica(); r != nil {
+		r.Upsert(doc)
+	}
+}
+
+// SyncCatalog runs one anti-entropy round of the attached replica: pull the
+// shards that advanced remotely, fold every replicated change — additions,
+// metadata updates and deletions — into the catalog, then push the locally
+// dirty shards. It is how a weakly connected cell catches up after an
+// offline stretch.
+func (c *Cell) SyncCatalog() error {
+	r := c.Replica()
+	if r == nil {
+		return fmt.Errorf("core: no replica attached to %s", c.id)
+	}
+	if err := r.Sync(); err != nil {
+		return err
+	}
+	changes := r.DrainChanges()
+	for i, ch := range changes {
+		if err := c.foldChange(ch); err != nil {
+			// Put the unapplied tail back so the next round retries it
+			// instead of silently diverging catalog and replica.
+			r.RequeueChanges(changes[i:])
+			return fmt.Errorf("core: sync catalog: %w", err)
+		}
+	}
+	return nil
+}
+
+// foldChange applies one replicated change to the catalog. It tolerates the
+// races the narrow replica locking allows (a concurrent Ingest adding the
+// same document between the membership probe and the write) by trying the
+// update and insert paths in turn rather than trusting a single probe.
+func (c *Cell) foldChange(ch syncpkg.Change) error {
+	if ch.Deleted {
+		if _, err := c.catalog.Get(ch.DocID); err != nil {
+			return nil // already absent
+		}
+		return c.catalog.Remove(ch.DocID)
+	}
+	if ch.Doc == nil {
+		return nil // a live entry without metadata cannot be indexed
+	}
+	if err := c.catalog.Update(ch.Doc); err == nil {
+		return nil
+	}
+	if err := c.catalog.Add(ch.Doc); err == nil {
+		return nil
+	}
+	// Added concurrently since the Update attempt; one more update settles it.
+	return c.catalog.Update(ch.Doc)
+}
+
 // blobName is the cloud name of a document payload.
 func (c *Cell) blobName(docID string) string {
 	return c.id + "/vault/" + docID
@@ -269,6 +352,7 @@ func (c *Cell) Ingest(payload []byte, opts IngestOptions) (*datamodel.Document, 
 	if err := c.catalog.Add(doc); err != nil {
 		return nil, fmt.Errorf("core: ingest: catalog: %w", err)
 	}
+	c.mirrorToReplica(doc)
 	c.appendAudit(c.id, "ingest", doc.ID, audit.OutcomeAllowed, "owner ingest", "")
 	return doc.Clone(), nil
 }

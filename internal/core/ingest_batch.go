@@ -75,6 +75,7 @@ func (c *Cell) IngestBatch(items []IngestItem) ([]*datamodel.Document, error) {
 		if err := c.catalog.Add(s.doc); err != nil {
 			return docs, fmt.Errorf("core: ingest batch: catalog: %w", err)
 		}
+		c.mirrorToReplica(s.doc)
 		c.appendAudit(c.id, "ingest", s.doc.ID, audit.OutcomeAllowed, "owner ingest (batch)", "")
 		docs = append(docs, s.doc.Clone())
 	}

@@ -256,6 +256,9 @@ func RunE10(cfg E10Config) (*Table, error) {
 			fmt.Sprintf("%.0f", res.SequentialQPS), "1.0x", fmt.Sprintf("%.0f", res.SeqScannedPerQuery))
 		table.AddRow(fmt.Sprintf("%d", n), "indexed/batched", fmt.Sprintf("%d", res.Readers),
 			fmt.Sprintf("%.0f", res.BatchedQPS), fmt.Sprintf("%.1fx", res.Speedup), fmt.Sprintf("%.0f", res.BatScannedPerQuery))
+		// The largest measured catalog provides the headline gate metrics.
+		table.SetMetric("batched_qps", res.BatchedQPS)
+		table.SetMetric("speedup", res.Speedup)
 	}
 	return table, nil
 }

@@ -581,11 +581,13 @@ func RunE7(cfg E7Config) (*Table, error) {
 				break
 			}
 		}
+		// Conflict resolutions are replicated state, so after convergence
+		// every replica reports the same count — summing would double-count.
 		table.AddRow(fmt.Sprintf("%.0f%%", p*100),
 			fmt.Sprintf("%d", cfg.Updates),
 			fmt.Sprintf("%d", attempted),
 			fmt.Sprintf("%d", failed),
-			fmt.Sprintf("%d", a.ConflictsResolved()+b.ConflictsResolved()),
+			fmt.Sprintf("%d", a.ConflictsResolved()),
 			fmt.Sprintf("%d", rounds),
 			fmt.Sprintf("%t", converged))
 	}

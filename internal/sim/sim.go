@@ -1,6 +1,6 @@
 // Package sim is the experiment harness of the repository. The paper being a
 // vision paper with no evaluation section, DESIGN.md defines a synthetic
-// evaluation suite (experiments E1–E9 plus the Figure 1 walk-through), each
+// evaluation suite (experiments E1–E11 plus the Figure 1 walk-through), each
 // substantiating one architectural claim. This package implements every
 // experiment as a pure function returning a Table, so the same code backs the
 // Go benchmarks, the tcbench command line and EXPERIMENTS.md.
@@ -15,16 +15,29 @@ import (
 // Table is one experiment result, rendered as the paper-style table the
 // harness regenerates.
 type Table struct {
-	ID      string
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Metrics are the machine-readable headline numbers of the experiment
+	// (throughput, speedup, bytes ratio, …). cmd/tcbench emits them with
+	// -json and its -gate mode compares them against a committed baseline,
+	// so CI can fail on regressions without re-parsing the rendered rows.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // AddRow appends a row of already-formatted cells.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// SetMetric records one machine-readable headline number.
+func (t *Table) SetMetric(name string, value float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = value
 }
 
 // Render writes the table in a fixed-width textual form.
@@ -90,7 +103,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -116,9 +129,30 @@ func Run(id string) (*Table, error) {
 		return RunE9(DefaultE9Config())
 	case "e10":
 		return RunE10(DefaultE10Config())
+	case "e11":
+		return RunE11(DefaultE11Config())
 	case "fig1":
 		return RunFig1()
 	default:
 		return nil, fmt.Errorf("sim: unknown experiment %q", id)
+	}
+}
+
+// RunQuick dispatches an experiment by ID with a reduced configuration sized
+// for CI smoke runs: the headline scale point of each throughput experiment
+// instead of the whole sweep. Experiments without a reduced form run their
+// default configuration.
+func RunQuick(id string) (*Table, error) {
+	switch strings.ToLower(id) {
+	case "e9":
+		cfg := DefaultE9Config()
+		cfg.Fleets = []int{16}
+		return RunE9(cfg)
+	case "e10":
+		cfg := DefaultE10Config()
+		cfg.CatalogSizes = []int{10_000}
+		return RunE10(cfg)
+	default:
+		return Run(id)
 	}
 }

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(ids))
+	if len(ids) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(ids))
 	}
 }
 
@@ -264,6 +264,61 @@ func TestRunE10Shape(t *testing.T) {
 	}
 	if len(table.Rows) != 2 {
 		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+}
+
+// TestRunE11Shape verifies the replication experiment at a reduced scale:
+// both protocols must converge (state and conflict counts), and the delta
+// protocol must move several times fewer bytes than the full-state baseline.
+// The byte counts are seed-driven, not timing-driven, so the assertions hold
+// on any machine.
+func TestRunE11Shape(t *testing.T) {
+	cfg := E11Config{
+		Replicas:         4,
+		Docs:             2_000,
+		SyncShards:       64,
+		ChurnRounds:      4,
+		UpdatesPerRound:  16,
+		ConnectProb:      0.5,
+		Seed:             19,
+		MaxRecoverRounds: 30,
+	}
+	full, err := RunE11Path(cfg, false)
+	if err != nil {
+		t.Fatalf("RunE11Path(full): %v", err)
+	}
+	delta, err := RunE11Path(cfg, true)
+	if err != nil {
+		t.Fatalf("RunE11Path(delta): %v", err)
+	}
+	for _, res := range []E11Result{full, delta} {
+		if !res.Converged {
+			t.Fatalf("%s did not converge: %+v", res.Path, res)
+		}
+	}
+	if full.Conflicts != delta.Conflicts {
+		t.Fatalf("the two paths resolved different conflict sets: full=%d delta=%d",
+			full.Conflicts, delta.Conflicts)
+	}
+	if delta.SyncBytes <= 0 || full.SyncBytes <= 0 {
+		t.Fatalf("no sync traffic measured: full=%+v delta=%+v", full, delta)
+	}
+	if ratio := float64(full.SyncBytes) / float64(delta.SyncBytes); ratio < 3 {
+		t.Fatalf("delta sync should move several times fewer bytes: ratio=%.2f full=%d delta=%d",
+			ratio, full.SyncBytes, delta.SyncBytes)
+	}
+	table, err := RunE11(E11Config{
+		Replicas: 3, Docs: 500, SyncShards: 32, ChurnRounds: 2,
+		UpdatesPerRound: 8, ConnectProb: 0.6, Seed: 7, MaxRecoverRounds: 20,
+	})
+	if err != nil {
+		t.Fatalf("RunE11: %v", err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if table.Metrics["bytes_ratio"] <= 1 {
+		t.Fatalf("bytes_ratio metric missing or not >1: %v", table.Metrics)
 	}
 }
 

@@ -1,0 +1,161 @@
+package sync
+
+// This file keeps the historical full-state protocol alive as the ablation
+// baseline: every PushFull re-seals and re-uploads the entire catalog as one
+// userID/syncstate blob, and every PullFull downloads all of it, so sync cost
+// is O(catalog) per round regardless of how little changed. Experiment E11
+// measures the delta protocol in delta.go against exactly this path.
+//
+// The full-state blob carries the same per-shard states the delta protocol
+// replicates, so the two protocols can be mixed on one user: PushFull never
+// clears the dirty flags (the full blob is a different channel than the
+// shard blobs, so publishing there does not make the shard blobs current),
+// and a merge from the full blob dirties every shard it taught something to,
+// so the next delta Push re-publishes the learned state where delta-only
+// peers can see it. Convergence across a mixed fleet therefore still needs
+// at least one replica running delta rounds — the full blob itself is only
+// read by full-protocol peers.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/crypto"
+)
+
+// fullState is the wire form of the full-state protocol: every shard's
+// replicated state in shard order.
+type fullState struct {
+	Shards []shardState `json:"shards"`
+}
+
+// fullBlobName is the cloud name of the full-state blob.
+func (r *Replica) fullBlobName() string { return r.userID + "/syncstate" }
+
+func (r *Replica) fullAD() []byte { return []byte("syncstate:" + r.userID) }
+
+// PushFull uploads the replica's entire sealed state to the cloud after
+// merging with the current remote state, exactly as the pre-delta
+// synchronizer did. Cost is O(catalog) in bytes and sealing work.
+func (r *Replica) PushFull() error {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	if err := r.mergeRemoteFull(true); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	if !r.connected {
+		r.mu.Unlock()
+		return ErrDisconnected
+	}
+	snap := fullState{Shards: make([]shardState, len(r.shards))}
+	for si, s := range r.shards {
+		snap.Shards[si] = snapshotShardLocked(s)
+	}
+	r.mu.Unlock()
+
+	// Dirty flags are deliberately left untouched: they track what the
+	// *shard blobs* may lack, and this upload goes to the full-state blob.
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("sync: encode state: %w", err)
+	}
+	sealed, err := crypto.Seal(r.key, payload, r.fullAD())
+	if err != nil {
+		return fmt.Errorf("sync: seal state: %w", err)
+	}
+	if _, err := r.cloud.PutBlob(r.fullBlobName(), sealed); err != nil {
+		return mapCloudErr("push", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pushes++
+	r.bytesPushed += int64(len(sealed))
+	r.shardsPushed++ // one blob shipped, however many shards it carries
+	return nil
+}
+
+// PullFull downloads the sealed remote full state and merges it into the
+// replica.
+func (r *Replica) PullFull() error {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	return r.mergeRemoteFull(false)
+}
+
+// SyncFull is PullFull followed by PushFull — one round of the O(catalog)
+// baseline protocol.
+func (r *Replica) SyncFull() error {
+	if err := r.PullFull(); err != nil {
+		return err
+	}
+	return r.PushFull()
+}
+
+// mergeRemoteFull fetches the full-state blob and merges it. forPush is true
+// when called as the read half of PushFull's read-modify-write, in which case
+// a missing remote blob is fine and nothing is counted as a pull.
+func (r *Replica) mergeRemoteFull(forPush bool) error {
+	r.mu.Lock()
+	if !r.connected {
+		r.mu.Unlock()
+		return ErrDisconnected
+	}
+	r.mu.Unlock()
+
+	blob, err := r.cloud.GetBlob(r.fullBlobName())
+	if errors.Is(err, cloud.ErrBlobNotFound) {
+		if !forPush {
+			r.mu.Lock()
+			r.pulls++
+			r.mu.Unlock()
+		}
+		return nil // nothing pushed yet
+	}
+	if err != nil {
+		op := "pull"
+		if forPush {
+			op = "push"
+		}
+		return mapCloudErr(op, err)
+	}
+	plain, ad, err := crypto.Open(r.key, blob.Data)
+	if err != nil {
+		return ErrIntegrity
+	}
+	if string(ad) != string(r.fullAD()) {
+		return ErrIntegrity
+	}
+	var st fullState
+	if err := json.Unmarshal(plain, &st); err != nil {
+		return ErrIntegrity
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.connected {
+		return ErrDisconnected
+	}
+	if len(st.Shards) != len(r.shards) {
+		// Replicas of one user must agree on the shard count; a mismatched
+		// layout cannot be merged positionally.
+		return fmt.Errorf("%w: remote state has %d shards, replica has %d", ErrIntegrity, len(st.Shards), len(r.shards))
+	}
+	for si := range st.Shards {
+		if r.mergeShardLocked(r.shards[si], st.Shards[si]) {
+			// The full blob taught this shard something delta-only peers
+			// cannot read there; dirty it so the next delta Push publishes
+			// the learned state to the shard blobs too.
+			r.shards[si].dirty = true
+		}
+	}
+	r.bytesPulled += int64(len(blob.Data))
+	if !forPush {
+		r.pulls++
+		r.shardsPulled++ // one blob fetched, however many shards it carries
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"trustedcells/internal/query"
 	"trustedcells/internal/sensor"
 	"trustedcells/internal/sim"
+	syncpkg "trustedcells/internal/sync"
 	"trustedcells/internal/tamper"
 	"trustedcells/internal/timeseries"
 	"trustedcells/internal/ucon"
@@ -135,6 +136,31 @@ type BatchCloudService = cloud.BatchService
 // BlobPut is one named payload of a batched upload.
 type BlobPut = cloud.BlobPut
 
+// ConditionalCloudService is the optional conditional-fetch extension of
+// CloudService: one round-trip returns data only for the blobs whose stored
+// version advanced past what the caller already holds (a batched
+// If-None-Match). The in-memory cloud and the TCP client both implement it;
+// the delta synchronizer exploits it automatically.
+type ConditionalCloudService = cloud.ConditionalBatchService
+
+// CondGet names one blob of a conditional batched fetch.
+type CondGet = cloud.CondGet
+
+// Replica is one cell's replica of the user's metadata catalog, synchronized
+// across the user's trusted cells through the untrusted cloud by the sharded
+// delta anti-entropy protocol (see Cell.AttachReplica and Cell.SyncCatalog).
+// SyncFull/PushFull/PullFull keep the historical O(catalog) full-state
+// protocol available as an ablation baseline.
+type Replica = syncpkg.Replica
+
+// ReplicaTransfer is a snapshot of a replica's synchronization traffic:
+// pushes, pulls, sealed bytes and shard blobs moved in each direction.
+type ReplicaTransfer = syncpkg.Transfer
+
+// DefaultSyncShards is the default replication shard count of a catalog
+// replica.
+const DefaultSyncShards = syncpkg.DefaultShardCount
+
 // Hardware classes of the devices hosting cells.
 const (
 	ClassSecureToken    = tamper.ClassSecureToken
@@ -186,6 +212,28 @@ func NewQueryEngine(cell *Cell, subject string, ctx AccessContext) *QueryEngine 
 // NewPairingSecret generates a pairing secret to install on two cells that
 // want to exchange data securely.
 func NewPairingSecret() (crypto.SymmetricKey, error) { return core.NewPairingSecret() }
+
+// NewReplicaKey generates the sealing key shared by all catalog replicas of
+// one user.
+func NewReplicaKey() (crypto.SymmetricKey, error) { return crypto.NewSymmetricKey() }
+
+// NewReplica creates a catalog replica named id (e.g. "alice/gateway") of
+// userID's personal space over the given cloud service, with DefaultSyncShards
+// replication shards. Every replica of one user must share the same key (see
+// NewReplicaKey) and shard count.
+func NewReplica(id, userID string, key crypto.SymmetricKey, svc CloudService) *Replica {
+	return syncpkg.NewReplica(id, userID, key, svc, nil)
+}
+
+// NewReplicaShards creates a catalog replica with an explicit replication
+// shard count.
+func NewReplicaShards(id, userID string, key crypto.SymmetricKey, svc CloudService, shards int) *Replica {
+	return syncpkg.NewReplicaShards(id, userID, key, svc, nil, shards)
+}
+
+// ReplicasEqual reports whether two replicas have converged to the same live
+// state.
+func ReplicasEqual(a, b *Replica) bool { return syncpkg.Equal(a, b) }
 
 // NewMemoryCloud creates an in-process honest untrusted-infrastructure
 // service, suitable for tests, examples and simulations. The store is
@@ -243,7 +291,7 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e10, fig1) with
+// RunExperiment runs one of the DESIGN.md experiments (e1..e11, fig1) with
 // its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 

@@ -34,6 +34,47 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestFacadeReplicaSync drives the sharded delta synchronizer through the
+// facade: two cells of one user, ingest on one, one anti-entropy round each,
+// and the other cell's catalog knows the documents.
+func TestFacadeReplicaSync(t *testing.T) {
+	svc := NewMemoryCloud()
+	key, err := NewReplicaKey()
+	if err != nil {
+		t.Fatalf("NewReplicaKey: %v", err)
+	}
+	gw, err := NewCell(CellConfig{ID: "bob-gw", Class: ClassHomeGateway, Cloud: svc, Seed: []byte("bob-gw")})
+	if err != nil {
+		t.Fatalf("NewCell: %v", err)
+	}
+	phone, err := NewCell(CellConfig{ID: "bob-phone", Class: ClassTrustZonePhone, Cloud: svc, Seed: []byte("bob-phone")})
+	if err != nil {
+		t.Fatalf("NewCell: %v", err)
+	}
+	gw.AttachReplica(NewReplica("bob/gw", "bob", key, svc))
+	phone.AttachReplica(NewReplicaShards("bob/phone", "bob", key, svc, DefaultSyncShards))
+
+	doc, err := gw.Ingest([]byte("replicated note"), IngestOptions{Class: ClassAuthored, Type: "note", Title: "n"})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := gw.SyncCatalog(); err != nil {
+		t.Fatalf("gw.SyncCatalog: %v", err)
+	}
+	if err := phone.SyncCatalog(); err != nil {
+		t.Fatalf("phone.SyncCatalog: %v", err)
+	}
+	if !ReplicasEqual(gw.Replica(), phone.Replica()) {
+		t.Fatal("replicas did not converge")
+	}
+	if _, err := phone.Catalog().Get(doc.ID); err != nil {
+		t.Fatalf("document did not reach the phone catalog: %v", err)
+	}
+	if tr := gw.Replica().TransferStats(); tr.BytesPushed == 0 || tr.ShardsPushed == 0 {
+		t.Fatalf("no transfer recorded: %+v", tr)
+	}
+}
+
 func TestFacadeSeriesAndSensors(t *testing.T) {
 	trace, err := GenerateHousehold(start, time.Hour, 1)
 	if err != nil || trace.Power.Len() != 3600 {
