@@ -1,12 +1,12 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E11) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E12) plus the Figure 1 architecture walk-through.
 //
-//	tcbench -experiment all          # run everything
-//	tcbench -experiment e4           # one experiment
-//	tcbench -run e11                 # filter flag: just the replication study
-//	tcbench -run e9,e10,e11 -quick   # CI-sized configurations
-//	tcbench -run e11 -json -out BENCH_E11.json
-//	tcbench -gate ci/bench_baseline.json -in BENCH_E11.json
+//	tcbench -experiment all              # run everything
+//	tcbench -experiment e4               # one experiment
+//	tcbench -run e12                     # filter flag: just the fast-path study
+//	tcbench -run e9,e10,e11,e12 -quick   # CI-sized configurations
+//	tcbench -run e9,e10,e11,e12 -quick -json -out BENCH_E12.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E12.json
 //	tcbench -experiment fig1 -out report.txt
 //
 // The -json flag emits the same tables machine-readably, including each
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e11, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e12, fig1) or 'all'")
 		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e11' or 'e9,e10,e11'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		jsonOut    = flag.Bool("json", false, "emit JSON (tables + metrics) instead of rendered text")
@@ -177,7 +177,7 @@ func runGate(gateFile, inFile, run string, quick bool) error {
 		}
 	} else {
 		if run == "" {
-			run = "e9,e10,e11"
+			run = "e9,e10,e11,e12"
 		}
 		if tables, err = runExperiments("", run, quick); err != nil {
 			return fmt.Errorf("gate: %w", err)

@@ -51,6 +51,12 @@ type Message struct {
 // Service is the API the untrusted infrastructure offers to cells.
 type Service interface {
 	// PutBlob stores data under name and returns the new version.
+	//
+	// Implementations must not retain data past the call: callers recycle
+	// the sealed buffers through pools the moment a put returns (the
+	// in-memory store copies, the TCP client writes to the socket
+	// synchronously — see DESIGN.md §7.2). The same contract applies to the
+	// batched PutBlobs of BatchService.
 	PutBlob(name string, data []byte) (int, error)
 	// GetBlob returns the latest version of the blob.
 	GetBlob(name string) (Blob, error)

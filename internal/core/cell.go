@@ -299,11 +299,6 @@ func (c *Cell) blobName(docID string) string {
 	return c.id + "/vault/" + docID
 }
 
-// associatedData binds a sealed payload to its owner and document.
-func associatedData(owner, docID string) []byte {
-	return []byte("doc:" + owner + ":" + docID)
-}
-
 // IngestOptions describe a document being ingested into the cell.
 type IngestOptions struct {
 	Class    datamodel.DataClass
@@ -336,17 +331,25 @@ func (c *Cell) Ingest(payload []byte, opts IngestOptions) (*datamodel.Document, 
 	}
 	key := c.keys.DocumentKey(doc.ID)
 	doc.KeyFingerprint = key.Fingerprint()
-	sealed, err := crypto.Seal(key, payload, associatedData(c.id, doc.ID))
+	// The envelope and its key/AD scratch live in pooled buffers: both the
+	// cloud store and the local cache copy on put, so once the writes settle
+	// the buffers are recycled and a steady-state ingest allocates nothing
+	// for sealing.
+	scratch, sb := keyBufs.Get(), sealBufs.Get()
+	defer func() { keyBufs.Put(scratch); sealBufs.Put(sb) }()
+	*scratch = appendAssociatedData(*scratch, c.id, doc.ID)
+	sealed, err := crypto.SealTo(*sb, key, payload, *scratch)
 	if err != nil {
 		return nil, fmt.Errorf("core: ingest: %w", err)
 	}
+	*sb = sealed
 	doc.BlobRef = c.blobName(doc.ID)
 	if c.cloud != nil {
 		if _, err := c.cloud.PutBlob(doc.BlobRef, sealed); err != nil {
 			return nil, fmt.Errorf("core: ingest: cloud put: %w", err)
 		}
 	}
-	if err := c.cache.Put([]byte("payload/"+doc.ID), sealed); err != nil {
+	if err := c.cache.Put(appendPayloadKey((*scratch)[:0], doc.ID), sealed); err != nil {
 		return nil, fmt.Errorf("core: ingest: cache: %w", err)
 	}
 	if err := c.catalog.Add(doc); err != nil {
@@ -402,8 +405,11 @@ func decodeSeries(data []byte) (*timeseries.Series, error) {
 // cache and falling back to the cloud; fromCloud reports which one served
 // it, so callers can warm the cache once the envelope verifies.
 func (c *Cell) fetchSealed(doc *datamodel.Document) (sealed []byte, fromCloud bool, err error) {
-	if sealed, err := c.cache.Get([]byte("payload/" + doc.ID)); err == nil {
-		return sealed, false, nil
+	kb := keyBufs.Get()
+	cached, cacheErr := c.cache.Get(appendPayloadKey(*kb, doc.ID))
+	keyBufs.Put(kb)
+	if cacheErr == nil {
+		return cached, false, nil
 	}
 	if c.cloud == nil {
 		return nil, false, fmt.Errorf("core: payload of %s unavailable: no cloud and no cache", doc.ID)
@@ -432,22 +438,33 @@ func (c *Cell) openDocument(doc *datamodel.Document, key crypto.SymmetricKey, ow
 }
 
 // warmCache writes a verified sealed payload back to the local cache. Best
-// effort: the read already has the bytes even if caching them fails.
+// effort: the read already has the bytes even if caching them fails. The
+// cache key lives in pooled scratch (the KV copies it on put).
 func (c *Cell) warmCache(docID string, sealed []byte) {
-	_ = c.cache.Put([]byte("payload/"+docID), sealed)
+	kb := keyBufs.Get()
+	_ = c.cache.Put(appendPayloadKey(*kb, docID), sealed)
+	keyBufs.Put(kb)
 }
 
 // openSealed decrypts and integrity-checks an already-fetched sealed payload.
 // It only reads immutable cell state, so it is safe from many workers at once.
 func (c *Cell) openSealed(doc *datamodel.Document, key crypto.SymmetricKey, owner string, sealed []byte) ([]byte, error) {
-	plain, ad, err := crypto.Open(key, sealed)
+	return c.openSealedTo(nil, doc, key, owner, sealed)
+}
+
+// openSealedTo is openSealed appending the plaintext to dst: decryption in
+// one pass (the associated data is verified in place, never copied), the
+// content hash compared without materializing its hex form. With a pooled
+// dst the only allocation left on the open path is whatever the caller keeps.
+func (c *Cell) openSealedTo(dst []byte, doc *datamodel.Document, key crypto.SymmetricKey, owner string, sealed []byte) ([]byte, error) {
+	plain, ad, err := crypto.OpenTo(dst, key, sealed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: envelope of %s", ErrIntegrity, doc.ID)
 	}
-	if string(ad) != string(associatedData(owner, doc.ID)) {
+	if !matchesAssociatedData(ad, owner, doc.ID) {
 		return nil, fmt.Errorf("%w: associated data of %s", ErrIntegrity, doc.ID)
 	}
-	if doc.ContentHash != "" && crypto.HashString(plain) != doc.ContentHash {
+	if doc.ContentHash != "" && !crypto.HashMatchesHex(plain, doc.ContentHash) {
 		return nil, fmt.Errorf("%w: content hash of %s", ErrIntegrity, doc.ID)
 	}
 	return plain, nil

@@ -16,10 +16,13 @@ type IngestItem struct {
 	Opts    IngestOptions
 }
 
-// sealedItem is the output of the sealing stage for one item.
+// sealedItem is the output of the sealing stage for one item. sealed lives in
+// a pooled buffer (buf) until the batch has flushed it to the cloud and the
+// local cache — both copy on put — after which IngestBatch recycles it.
 type sealedItem struct {
 	doc    *datamodel.Document
 	sealed []byte
+	buf    *[]byte
 }
 
 // IngestBatch acquires many payloads in one operation. Sealing — the AES
@@ -46,6 +49,14 @@ func (c *Cell) IngestBatch(items []IngestItem) ([]*datamodel.Document, error) {
 		return nil, nil
 	}
 	sealed, err := c.sealAll(items)
+	// Recycle every pooled envelope once the batch settles: by then the cloud
+	// and the cache hold their own copies of each committed item, and
+	// uncommitted envelopes are no longer referenced.
+	defer func() {
+		for i := range sealed {
+			sealBufs.Put(sealed[i].buf)
+		}
+	}()
 	if err != nil {
 		return nil, err
 	}
@@ -68,8 +79,10 @@ func (c *Cell) IngestBatch(items []IngestItem) ([]*datamodel.Document, error) {
 	}
 
 	docs := make([]*datamodel.Document, 0, len(sealed))
+	kb := keyBufs.Get()
+	defer keyBufs.Put(kb)
 	for _, s := range sealed {
-		if err := c.cache.Put([]byte("payload/"+s.doc.ID), s.sealed); err != nil {
+		if err := c.cache.Put(appendPayloadKey((*kb)[:0], s.doc.ID), s.sealed); err != nil {
 			return docs, fmt.Errorf("core: ingest batch: cache: %w", err)
 		}
 		if err := c.catalog.Add(s.doc); err != nil {
@@ -94,6 +107,9 @@ func (c *Cell) sealAll(items []IngestItem) ([]sealedItem, error) {
 	})
 	for _, err := range errs {
 		if err != nil {
+			for i := range out {
+				sealBufs.Put(out[i].buf)
+			}
 			return nil, err
 		}
 	}
@@ -119,10 +135,16 @@ func (c *Cell) sealOne(item IngestItem, now time.Time) (sealedItem, error) {
 	}
 	key := c.keys.DocumentKey(doc.ID)
 	doc.KeyFingerprint = key.Fingerprint()
-	sealed, err := crypto.Seal(key, item.Payload, associatedData(c.id, doc.ID))
+	scratch := keyBufs.Get()
+	*scratch = appendAssociatedData(*scratch, c.id, doc.ID)
+	sb := sealBufs.Get()
+	sealed, err := crypto.SealTo(*sb, key, item.Payload, *scratch)
+	keyBufs.Put(scratch)
 	if err != nil {
+		sealBufs.Put(sb)
 		return sealedItem{}, fmt.Errorf("core: ingest batch: %w", err)
 	}
+	*sb = sealed
 	doc.BlobRef = c.blobName(doc.ID)
-	return sealedItem{doc: doc, sealed: sealed}, nil
+	return sealedItem{doc: doc, sealed: sealed, buf: sb}, nil
 }

@@ -138,11 +138,16 @@ func (c *Cell) AggregateBatch(subjectID string, docIDs []string, g timeseries.Gr
 			outs[i].openErr = err
 			return
 		}
-		plain, err := c.openSealed(gate.doc, gate.key, gate.owner, sealed[gate.doc.ID])
+		// The plaintext only lives until decodeSeries copies the points out,
+		// so it decrypts into a pooled buffer and costs no allocation.
+		pb := sealBufs.Get()
+		defer sealBufs.Put(pb)
+		plain, err := c.openSealedTo(*pb, gate.doc, gate.key, gate.owner, sealed[gate.doc.ID])
 		if err != nil {
 			outs[i].openErr = err
 			return
 		}
+		*pb = plain
 		if fromCloud[gate.doc.ID] {
 			c.warmCache(gate.doc.ID, sealed[gate.doc.ID])
 		}
@@ -193,11 +198,13 @@ func (c *Cell) fetchSealedBatch(docs []*datamodel.Document) (sealed map[string][
 	errs = make(map[string]error)
 	var missing []*datamodel.Document
 	queued := make(map[string]bool)
+	kb := keyBufs.Get()
+	defer keyBufs.Put(kb)
 	for _, d := range docs {
 		if _, done := sealed[d.ID]; done || queued[d.ID] {
 			continue
 		}
-		if b, err := c.cache.Get([]byte("payload/" + d.ID)); err == nil {
+		if b, err := c.cache.Get(appendPayloadKey((*kb)[:0], d.ID)); err == nil {
 			sealed[d.ID] = b
 			continue
 		}

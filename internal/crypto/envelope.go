@@ -27,8 +27,38 @@ const envelopeVersion = 1
 
 const gcmNonceSize = 12
 
-// Seal encrypts plaintext under key, binding the associated data.
+// envelopeHeaderBase is the fixed part of the header: version byte, nonce,
+// associated-data length.
+const envelopeHeaderBase = 1 + gcmNonceSize + 4
+
+// Seal encrypts plaintext under key, binding the associated data. It is
+// SealTo(nil, ...): the whole envelope is produced in a single allocation,
+// with the cipher served by the process-wide AEAD cache and the nonce drawn
+// from the bulk randomness source. Hot paths that recycle buffers should call
+// SealTo directly and allocate nothing at all.
 func Seal(key SymmetricKey, plaintext, associated []byte) ([]byte, error) {
+	return SealTo(nil, key, plaintext, associated)
+}
+
+// Open decrypts a sealed envelope, returning the plaintext and the associated
+// data that was authenticated with it. Any modification of the envelope —
+// header, associated data or ciphertext — fails: with ErrDecrypt, or with a
+// descriptive versioning error when the version byte names an envelope
+// format this implementation does not speak.
+//
+// The returned associated data aliases the sealed input (it was stored in
+// clear inside the envelope, so no copy is needed); it is valid as long as
+// sealed is and must not be modified.
+func Open(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err error) {
+	return OpenTo(nil, key, sealed)
+}
+
+// SealLegacy is the seed implementation of Seal, preserved verbatim as the
+// ablation baseline of experiment E12: it rebuilds the AES-GCM cipher on
+// every call, reads the nonce straight from crypto/rand, and builds the
+// envelope through several intermediate allocations. Production code uses
+// Seal/SealTo.
+func SealLegacy(key SymmetricKey, plaintext, associated []byte) ([]byte, error) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
 		return nil, fmt.Errorf("crypto: seal: %w", err)
@@ -53,10 +83,10 @@ func Seal(key SymmetricKey, plaintext, associated []byte) ([]byte, error) {
 	return append(header, ct...), nil
 }
 
-// Open decrypts a sealed envelope, returning the plaintext and the associated
-// data that was authenticated with it. Any modification of the envelope —
-// header, associated data or ciphertext — yields ErrDecrypt.
-func Open(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err error) {
+// OpenLegacy is the seed implementation of Open, preserved as the E12
+// ablation baseline: per-call cipher construction and a defensive copy of
+// the associated data.
+func OpenLegacy(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err error) {
 	if len(sealed) < 1+gcmNonceSize+4 {
 		return nil, nil, ErrDecrypt
 	}
@@ -65,10 +95,14 @@ func Open(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err er
 	}
 	nonce := sealed[1 : 1+gcmNonceSize]
 	adLen := binary.BigEndian.Uint32(sealed[1+gcmNonceSize : 1+gcmNonceSize+4])
-	headerEnd := 1 + gcmNonceSize + 4 + int(adLen)
-	if headerEnd > len(sealed) {
+	// The one divergence from the seed: bound-check adLen before the int
+	// conversion, which went negative on 32-bit platforms (a panic, not an
+	// error, on attacker-controlled input — the differential fuzz harness
+	// requires both implementations to reject it cleanly).
+	if uint64(adLen) > uint64(len(sealed)-(1+gcmNonceSize+4)) {
 		return nil, nil, ErrDecrypt
 	}
+	headerEnd := 1 + gcmNonceSize + 4 + int(adLen)
 	header := sealed[:headerEnd]
 	associated = make([]byte, adLen)
 	copy(associated, sealed[1+gcmNonceSize+4:headerEnd])
@@ -91,7 +125,7 @@ func Open(key SymmetricKey, sealed []byte) (plaintext, associated []byte, err er
 // EnvelopeOverhead is the number of bytes Seal adds on top of the plaintext
 // for a given associated-data length. Useful for storage sizing.
 func EnvelopeOverhead(associatedLen int) int {
-	return 1 + gcmNonceSize + 4 + associatedLen + 16 // 16 = GCM tag
+	return envelopeHeaderBase + associatedLen + 16 // 16 = GCM tag
 }
 
 // WrapKey encrypts (wraps) a symmetric key under a key-encryption key. Used

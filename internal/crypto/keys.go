@@ -264,6 +264,19 @@ func HashString(data []byte) string {
 	return hex.EncodeToString(Hash(data))
 }
 
+// HashMatchesHex reports whether the hex-encoded SHA-256 digest of data
+// equals hexDigest, without allocating — the hot read path verifies every
+// payload's content hash, so the comparison runs once per document opened.
+func HashMatchesHex(data []byte, hexDigest string) bool {
+	if len(hexDigest) != 2*sha256.Size {
+		return false
+	}
+	sum := sha256.Sum256(data)
+	var buf [2 * sha256.Size]byte
+	hex.Encode(buf[:], sum[:])
+	return string(buf[:]) == hexDigest
+}
+
 // HMAC computes HMAC-SHA256 over data with key.
 func HMAC(key SymmetricKey, data []byte) []byte {
 	m := hmac.New(sha256.New, key[:])

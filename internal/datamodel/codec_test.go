@@ -1,0 +1,171 @@
+package datamodel
+
+import (
+	"testing"
+	"time"
+)
+
+// codecTestDocs covers the edge cases of the wire format: empty optional
+// fields, unicode, zero time, many tags.
+func codecTestDocs() []*Document {
+	return []*Document{
+		{
+			ID: "doc-minimal", Owner: "alice", Type: "note",
+		},
+		{
+			ID: "doc-full", Owner: "alice-gw", Class: ClassSensed, Type: "power-series",
+			Title: "household power — §7 test", Keywords: []string{"energy", "linky", "unicode-é"},
+			Tags:      map[string]string{"device": "linky", "year": "2013", "zone": "fr/paris"},
+			CreatedAt: time.Date(2013, 1, 7, 12, 30, 45, 123456789, time.UTC),
+			Size:      1 << 20, ContentHash: "abc123", BlobRef: "alice-gw/vault/doc-full",
+			KeyFingerprint: "deadbeef00112233",
+		},
+		{
+			ID: "doc-empty-collections", Owner: "bob", Type: "photo",
+			Keywords: []string{}, Tags: map[string]string{},
+			CreatedAt: time.Date(2026, 7, 26, 0, 0, 0, 0, time.FixedZone("CEST", 2*3600)),
+		},
+		{
+			ID: "doc-empty-keyword", Owner: "bob", Type: "photo",
+			Keywords: []string{"", "x"}, Tags: map[string]string{"": "empty-key"},
+		},
+	}
+}
+
+func docsEquivalent(t *testing.T, want, got *Document) {
+	t.Helper()
+	if want.ID != got.ID || want.Owner != got.Owner || want.Class != got.Class ||
+		want.Type != got.Type || want.Title != got.Title ||
+		want.Size != got.Size || want.ContentHash != got.ContentHash ||
+		want.BlobRef != got.BlobRef || want.KeyFingerprint != got.KeyFingerprint {
+		t.Fatalf("scalar fields differ:\nwant %+v\ngot  %+v", want, got)
+	}
+	if !want.CreatedAt.Equal(got.CreatedAt) {
+		t.Fatalf("created_at differs: %v != %v", want.CreatedAt, got.CreatedAt)
+	}
+	if len(want.Keywords) != len(got.Keywords) {
+		t.Fatalf("keyword count differs: %v != %v", want.Keywords, got.Keywords)
+	}
+	for i := range want.Keywords {
+		if want.Keywords[i] != got.Keywords[i] {
+			t.Fatalf("keyword %d differs: %v != %v", i, want.Keywords, got.Keywords)
+		}
+	}
+	if len(want.Tags) != len(got.Tags) {
+		t.Fatalf("tag count differs: %v != %v", want.Tags, got.Tags)
+	}
+	for k, v := range want.Tags {
+		if got.Tags[k] != v {
+			t.Fatalf("tag %q differs: %q != %q", k, v, got.Tags[k])
+		}
+	}
+}
+
+// TestBinaryCodecRoundTrip proves binary encode/decode is lossless.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	for _, doc := range codecTestDocs() {
+		data, err := doc.EncodeBinary()
+		if err != nil {
+			t.Fatalf("%s: EncodeBinary: %v", doc.ID, err)
+		}
+		got, err := DecodeDocumentBinary(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeDocumentBinary: %v", doc.ID, err)
+		}
+		docsEquivalent(t, doc, got)
+	}
+}
+
+// TestCrossCodecDecode is the cross-decode guarantee of the dual-codec
+// design: a binary-encoded document and its JSON twin decode — through the
+// one sniffing entry point — to equivalent documents.
+func TestCrossCodecDecode(t *testing.T) {
+	for _, doc := range codecTestDocs() {
+		jsonBytes, err := doc.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", doc.ID, err)
+		}
+		binBytes, err := doc.EncodeBinary()
+		if err != nil {
+			t.Fatalf("%s: EncodeBinary: %v", doc.ID, err)
+		}
+		if len(binBytes) >= len(jsonBytes) {
+			t.Errorf("%s: binary (%d B) not smaller than JSON (%d B)", doc.ID, len(binBytes), len(jsonBytes))
+		}
+		fromJSON, err := DecodeDocument(jsonBytes)
+		if err != nil {
+			t.Fatalf("%s: DecodeDocument(json): %v", doc.ID, err)
+		}
+		fromBin, err := DecodeDocument(binBytes)
+		if err != nil {
+			t.Fatalf("%s: DecodeDocument(binary): %v", doc.ID, err)
+		}
+		docsEquivalent(t, fromJSON, fromBin)
+	}
+}
+
+// TestBinaryCodecDeterministic: equal documents encode to equal bytes (tags
+// are sorted), so replicated blobs are byte-stable across replicas.
+func TestBinaryCodecDeterministic(t *testing.T) {
+	doc := codecTestDocs()[1]
+	a, _ := doc.EncodeBinary()
+	b, _ := doc.Clone().EncodeBinary()
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same document differ")
+	}
+}
+
+func TestBinaryCodecRejectsMalformed(t *testing.T) {
+	doc := codecTestDocs()[1]
+	data, _ := doc.EncodeBinary()
+	cases := map[string][]byte{
+		"empty":          {},
+		"magic only":     {DocCodecMagic},
+		"bad version":    {DocCodecMagic, 99},
+		"truncated":      data[:len(data)/2],
+		"trailing bytes": append(append([]byte(nil), data...), 0x00),
+	}
+	for name, input := range cases {
+		if _, err := DecodeDocumentBinary(input); err == nil {
+			t.Fatalf("%s: malformed input accepted", name)
+		}
+	}
+	// Truncation at every boundary must error, never panic.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeDocumentBinary(data[:n]); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+// FuzzDecodeDocument throws arbitrary bytes at the sniffing decoder: it must
+// never panic, and anything it accepts must re-encode and decode to an
+// equivalent document (round-trip stability).
+func FuzzDecodeDocument(f *testing.F) {
+	for _, doc := range codecTestDocs() {
+		if bin, err := doc.EncodeBinary(); err == nil {
+			f.Add(bin)
+		}
+		if js, err := doc.Encode(); err == nil {
+			f.Add(js)
+		}
+	}
+	f.Add([]byte{DocCodecMagic, docCodecVersion, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte(`{"id":"x","owner":"y","type":"z"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeDocument(data)
+		if err != nil {
+			return
+		}
+		bin, err := doc.EncodeBinary()
+		if err != nil {
+			t.Fatalf("decoded document does not re-encode: %v", err)
+		}
+		again, err := DecodeDocumentBinary(bin)
+		if err != nil {
+			t.Fatalf("re-encoded document does not decode: %v", err)
+		}
+		docsEquivalent(t, doc, again)
+	})
+}

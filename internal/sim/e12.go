@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"trustedcells/internal/cloud"
+	"trustedcells/internal/core"
+	"trustedcells/internal/crypto"
+	"trustedcells/internal/datamodel"
+	"trustedcells/internal/policy"
+	"trustedcells/internal/tamper"
+)
+
+// ---------------------------------------------------------------------------
+// E12 — the sealing fast path: cached AEADs, pooled buffers, binary codec
+// ---------------------------------------------------------------------------
+
+// E12Config parameterises the envelope fast-path experiment. It has two
+// parts: a single-threaded envelope microbenchmark (seal+open throughput and
+// allocations per operation, legacy implementation vs fast path), and a
+// whole-cell workload (ingest then read a catalog of 1k/10k/100k documents
+// through the reference monitor on both paths).
+type E12Config struct {
+	// MicroOps is how many seal+open pairs each microbenchmark path runs.
+	MicroOps int
+	// MicroPayload is the plaintext size of the microbenchmark envelopes.
+	MicroPayload int
+	// MicroADLen is the associated-data length of the microbenchmark.
+	MicroADLen int
+	// MicroKeys is how many distinct per-document keys the microbenchmark
+	// cycles through — mirroring a cell re-sealing and re-opening documents
+	// whose keys recur, the access pattern the AEAD cache exploits.
+	MicroKeys int
+	// CatalogSizes are the document counts of the whole-cell workload.
+	CatalogSizes []int
+	// PayloadSize is the plaintext size of each cell document.
+	PayloadSize int
+	// BatchSize is the IngestBatch chunk of the cell workload.
+	BatchSize int
+	// ReadChunk is the ReadBatch chunk of the cell workload.
+	ReadChunk int
+}
+
+// DefaultE12Config measures 20k envelope pairs over 256 keys and cell
+// catalogs of 1k, 10k and 100k one-KiB documents.
+func DefaultE12Config() E12Config {
+	return E12Config{
+		MicroOps:     20_000,
+		MicroPayload: 1 << 10,
+		MicroADLen:   32,
+		MicroKeys:    256,
+		CatalogSizes: []int{1_000, 10_000, 100_000},
+		PayloadSize:  1 << 10,
+		BatchSize:    256,
+		ReadChunk:    256,
+	}
+}
+
+// E12MicroResult is one path's envelope microbenchmark outcome.
+type E12MicroResult struct {
+	Path        string
+	OpsPerSec   float64 // seal+open pairs per second, single-threaded
+	AllocsPerOp float64 // heap allocations per seal+open pair
+}
+
+// E12CellResult is one path's whole-cell workload outcome at one catalog
+// size.
+type E12CellResult struct {
+	Path            string
+	Docs            int
+	IngestPerSec    float64
+	IngestAllocsDoc float64
+	ReadPerSec      float64
+	ReadAllocsDoc   float64
+}
+
+// measureOps runs fn and returns its throughput plus the heap allocations it
+// performed per operation, via the runtime's global malloc counter (the
+// workload is the only thing running, so the counter is attributable).
+func measureOps(ops int, fn func() error) (opsPerSec, allocsPerOp float64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return float64(ops) / elapsed.Seconds(),
+		float64(m1.Mallocs-m0.Mallocs) / float64(ops), nil
+}
+
+// RunE12Micro measures seal+open cost on one implementation. fast selects
+// the cached/pooled path (SealTo/OpenTo into recycled buffers); otherwise
+// every pair runs the seed implementation (per-call cipher construction,
+// per-call nonce read, associated-data copy, multi-allocation build).
+func RunE12Micro(cfg E12Config, fast bool) (E12MicroResult, error) {
+	// Pin the process-wide flag so the fast measurement cannot silently run
+	// legacy crypto (or vice versa) if a previous ablation left it flipped.
+	prev := crypto.SetFastPath(fast)
+	defer crypto.SetFastPath(prev)
+	master, err := crypto.NewSymmetricKey()
+	if err != nil {
+		return E12MicroResult{}, err
+	}
+	keys := make([]crypto.SymmetricKey, cfg.MicroKeys)
+	for i := range keys {
+		keys[i] = crypto.DeriveKeyN(master, "e12-doc", uint64(i))
+	}
+	payload := make([]byte, cfg.MicroPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ad := make([]byte, cfg.MicroADLen)
+
+	res := E12MicroResult{Path: "legacy"}
+	if fast {
+		res.Path = "fast-path"
+	}
+	// Warm-up pass (not measured): touch every key once so the fast path
+	// measures the steady state the cache is built for, and the legacy path
+	// gets the same treatment.
+	sealBuf := make([]byte, 0, cfg.MicroPayload+crypto.EnvelopeOverhead(cfg.MicroADLen))
+	ptBuf := make([]byte, 0, cfg.MicroPayload)
+	for _, k := range keys {
+		var sealed []byte
+		if fast {
+			sealed, err = crypto.SealTo(sealBuf, k, payload, ad)
+		} else {
+			sealed, err = crypto.SealLegacy(k, payload, ad)
+		}
+		if err != nil {
+			return res, err
+		}
+		if fast {
+			_, _, err = crypto.OpenTo(ptBuf, k, sealed)
+		} else {
+			_, _, err = crypto.OpenLegacy(k, sealed)
+		}
+		if err != nil {
+			return res, err
+		}
+	}
+
+	run := func() error {
+		for i := 0; i < cfg.MicroOps; i++ {
+			k := keys[i%len(keys)]
+			var sealed, pt []byte
+			var err error
+			if fast {
+				sealed, err = crypto.SealTo(sealBuf, k, payload, ad)
+			} else {
+				sealed, err = crypto.SealLegacy(k, payload, ad)
+			}
+			if err != nil {
+				return fmt.Errorf("E12 %s: seal: %w", res.Path, err)
+			}
+			if fast {
+				pt, _, err = crypto.OpenTo(ptBuf, k, sealed)
+			} else {
+				pt, _, err = crypto.OpenLegacy(k, sealed)
+			}
+			if err != nil {
+				return fmt.Errorf("E12 %s: open: %w", res.Path, err)
+			}
+			if len(pt) != len(payload) || pt[1] != payload[1] {
+				return fmt.Errorf("E12 %s: round trip corrupted", res.Path)
+			}
+		}
+		return nil
+	}
+	res.OpsPerSec, res.AllocsPerOp, err = measureOps(cfg.MicroOps, run)
+	return res, err
+}
+
+// RunE12Cell runs the whole-cell workload at one catalog size: ingest docs
+// documents through IngestBatch, then read every one back through ReadBatch
+// (policy gate, batched fetch, parallel open), measuring throughput and
+// allocations per document on both phases. fast toggles the crypto fast path
+// for the duration of the run — the ablation knob of the experiment.
+func RunE12Cell(cfg E12Config, docs int, fast bool) (E12CellResult, error) {
+	prev := crypto.SetFastPath(fast)
+	defer crypto.SetFastPath(prev)
+
+	res := E12CellResult{Path: "legacy", Docs: docs}
+	if fast {
+		res.Path = "fast-path"
+	}
+	svc := cloud.NewMemoryShards(cloud.DefaultShards)
+	cell, err := core.New(core.Config{
+		ID:    "e12-cell",
+		Class: tamper.ClassHomeGateway,
+		Cloud: svc,
+		Seed:  []byte("e12-seed"),
+		Clock: fixedClock(),
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := cell.AddRule(policy.Rule{ID: "reader", Effect: policy.EffectAllow,
+		SubjectIDs: []string{"e12-reader"}, Actions: []policy.Action{policy.ActionRead}}); err != nil {
+		return res, err
+	}
+
+	// Payloads are stamped with the document index so every document hashes
+	// to a distinct ID.
+	mkPayload := func(di int) []byte {
+		header := fmt.Sprintf("e12-doc-%07d", di)
+		size := cfg.PayloadSize
+		if size < len(header) {
+			size = len(header)
+		}
+		p := make([]byte, size)
+		copy(p, header)
+		return p
+	}
+	opts := core.IngestOptions{Class: datamodel.ClassSensed, Type: "reading", Title: "e12"}
+
+	ids := make([]string, 0, docs)
+	ingest := func() error {
+		for lo := 0; lo < docs; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > docs {
+				hi = docs
+			}
+			items := make([]core.IngestItem, 0, hi-lo)
+			for di := lo; di < hi; di++ {
+				items = append(items, core.IngestItem{Payload: mkPayload(di), Opts: opts})
+			}
+			batch, err := cell.IngestBatch(items)
+			if err != nil {
+				return fmt.Errorf("E12 %s: ingest: %w", res.Path, err)
+			}
+			for _, d := range batch {
+				ids = append(ids, d.ID)
+			}
+		}
+		return nil
+	}
+	if res.IngestPerSec, res.IngestAllocsDoc, err = measureOps(docs, ingest); err != nil {
+		return res, err
+	}
+
+	read := func() error {
+		for lo := 0; lo < len(ids); lo += cfg.ReadChunk {
+			hi := lo + cfg.ReadChunk
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			for _, r := range cell.ReadBatch("e12-reader", ids[lo:hi], core.AccessContext{}) {
+				if r.Err != nil {
+					return fmt.Errorf("E12 %s: read %s: %w", res.Path, r.DocID, r.Err)
+				}
+			}
+		}
+		return nil
+	}
+	if res.ReadPerSec, res.ReadAllocsDoc, err = measureOps(docs, read); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunE12 measures the envelope fast path end to end. The microbenchmark
+// isolates the per-envelope constant factor the tentpole attacks (cached
+// AEADs + bulk nonces + pooled single-allocation builds vs the seed's
+// rebuild-everything implementation); the cell workload shows what that
+// constant factor is worth once the whole reference monitor — catalog,
+// policy gate, audit, local cache, cloud batch API — wraps around it.
+func RunE12(cfg E12Config) (*Table, error) {
+	table := &Table{
+		ID:      "E12",
+		Title:   "Zero-allocation sealing fast path: envelope micro-cost and whole-cell throughput",
+		Headers: []string{"workload", "path", "ops/sec", "allocs/op", "read ops/sec", "read allocs/op"},
+		Notes: []string{
+			fmt.Sprintf("micro: %d seal+open pairs of %d B payloads under %d distinct per-document keys, single-threaded",
+				cfg.MicroOps, cfg.MicroPayload, cfg.MicroKeys),
+			"legacy = seed implementation (cipher rebuilt per call, per-call nonce read, associated data copied, multi-allocation envelope build); fast-path = cached AEADs, bulk nonces, pooled buffers, in-place open",
+			fmt.Sprintf("cell: ingest via IngestBatch(%d) then read back via ReadBatch(%d) as a policy-gated subject, %d B payloads, in-memory sharded provider",
+				cfg.BatchSize, cfg.ReadChunk, cfg.PayloadSize),
+			"cell allocs/op count the whole reference monitor (metadata, policy gate, audit, cache, provider), not just the envelope",
+		},
+	}
+
+	legacyMicro, err := RunE12Micro(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	fastMicro, err := RunE12Micro(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []E12MicroResult{legacyMicro, fastMicro} {
+		table.AddRow("envelope micro", m.Path,
+			fmt.Sprintf("%.0f", m.OpsPerSec),
+			fmt.Sprintf("%.1f", m.AllocsPerOp),
+			"-", "-")
+	}
+	if legacyMicro.OpsPerSec > 0 {
+		table.SetMetric("seal_open_speedup", fastMicro.OpsPerSec/legacyMicro.OpsPerSec)
+	}
+	// Higher-is-better allocation metric for the bench gate: how many times
+	// fewer allocations the fast path performs per envelope. The fast path
+	// rounds up to half an allocation so a perfectly clean run cannot divide
+	// by zero.
+	fastAllocs := fastMicro.AllocsPerOp
+	if fastAllocs < 0.5 {
+		fastAllocs = 0.5
+	}
+	table.SetMetric("alloc_ratio", legacyMicro.AllocsPerOp/fastAllocs)
+	table.SetMetric("fast_allocs_per_op", fastMicro.AllocsPerOp)
+
+	// The gate's reference scale: headline cell metrics come from the 10k
+	// catalog when the sweep includes it (both the full and the -quick
+	// configuration do), so the committed floor compares like with like.
+	// Sweeps without a 10k point fall back to their largest scale.
+	headlineDocs := cfg.CatalogSizes[len(cfg.CatalogSizes)-1]
+	for _, docs := range cfg.CatalogSizes {
+		if docs == 10_000 {
+			headlineDocs = docs
+		}
+	}
+	for _, docs := range cfg.CatalogSizes {
+		legacyCell, err := RunE12Cell(cfg, docs, false)
+		if err != nil {
+			return nil, err
+		}
+		fastCell, err := RunE12Cell(cfg, docs, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []E12CellResult{legacyCell, fastCell} {
+			table.AddRow(fmt.Sprintf("cell %dk docs", docs/1000), r.Path,
+				fmt.Sprintf("%.0f", r.IngestPerSec),
+				fmt.Sprintf("%.1f", r.IngestAllocsDoc),
+				fmt.Sprintf("%.0f", r.ReadPerSec),
+				fmt.Sprintf("%.1f", r.ReadAllocsDoc))
+		}
+		if docs != headlineDocs {
+			continue
+		}
+		table.SetMetric("fast_ingest_docs_per_sec", fastCell.IngestPerSec)
+		table.SetMetric("fast_read_docs_per_sec", fastCell.ReadPerSec)
+		if legacyCell.IngestPerSec > 0 {
+			table.SetMetric("ingest_speedup", fastCell.IngestPerSec/legacyCell.IngestPerSec)
+		}
+		if legacyCell.ReadPerSec > 0 {
+			table.SetMetric("read_speedup", fastCell.ReadPerSec/legacyCell.ReadPerSec)
+		}
+	}
+	return table, nil
+}

@@ -103,7 +103,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -131,6 +131,8 @@ func Run(id string) (*Table, error) {
 		return RunE10(DefaultE10Config())
 	case "e11":
 		return RunE11(DefaultE11Config())
+	case "e12":
+		return RunE12(DefaultE12Config())
 	case "fig1":
 		return RunFig1()
 	default:
@@ -152,6 +154,11 @@ func RunQuick(id string) (*Table, error) {
 		cfg := DefaultE10Config()
 		cfg.CatalogSizes = []int{10_000}
 		return RunE10(cfg)
+	case "e12":
+		cfg := DefaultE12Config()
+		cfg.MicroOps = 5_000
+		cfg.CatalogSizes = []int{10_000}
+		return RunE12(cfg)
 	default:
 		return Run(id)
 	}

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(ids))
 	}
 }
 
@@ -319,6 +319,38 @@ func TestRunE11Shape(t *testing.T) {
 	}
 	if table.Metrics["bytes_ratio"] <= 1 {
 		t.Fatalf("bytes_ratio metric missing or not >1: %v", table.Metrics)
+	}
+}
+
+// TestRunE12Shape verifies the fast-path experiment at a reduced scale. The
+// allocation counts are deterministic (they count mallocs, not time), so the
+// ≥5x allocation claim is asserted even here; the throughput speedup is only
+// required to not be a slowdown under the race detector's 10x CPU tax.
+func TestRunE12Shape(t *testing.T) {
+	cfg := E12Config{
+		MicroOps: 2_000, MicroPayload: 1 << 10, MicroADLen: 32, MicroKeys: 64,
+		CatalogSizes: []int{500}, PayloadSize: 512, BatchSize: 128, ReadChunk: 128,
+	}
+	table, err := RunE12(cfg)
+	if err != nil {
+		t.Fatalf("RunE12: %v", err)
+	}
+	// 2 micro rows + 2 rows per catalog size.
+	if len(table.Rows) != 2+2*len(cfg.CatalogSizes) {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if ratio := table.Metrics["alloc_ratio"]; ratio < 5 {
+		t.Fatalf("fast path should allocate >=5x less per envelope, got %.1fx\n%s", ratio, table)
+	}
+	if table.Metrics["fast_allocs_per_op"] > 1 {
+		t.Fatalf("fast path allocates %.1f times per seal+open, want ~0\n%s",
+			table.Metrics["fast_allocs_per_op"], table)
+	}
+	if speedup := table.Metrics["seal_open_speedup"]; speedup < 1.0 {
+		t.Fatalf("fast path slower than legacy: %.2fx\n%s", speedup, table)
+	}
+	if table.Metrics["fast_ingest_docs_per_sec"] <= 0 || table.Metrics["fast_read_docs_per_sec"] <= 0 {
+		t.Fatalf("cell throughput missing: %v", table.Metrics)
 	}
 }
 

@@ -1,0 +1,216 @@
+package sync
+
+// Binary shard codec. Every dirty-shard push seals one shardState; the seed
+// implementation paid json.Marshal/Unmarshal over the whole shard (hundreds
+// of documents) per exchange. The length-prefixed binary form below embeds
+// the datamodel binary document codec, roughly halving shard blob bytes and
+// removing the reflection cost from the sync hot path. Decoding sniffs the
+// first byte and falls back to JSON, so shard blobs pushed by older replicas
+// keep merging cleanly.
+//
+// Wire format (integers are unsigned varints):
+//
+//	[1] magic 0xD6 — distinct from the document magic and from JSON
+//	[1] codec version (currently 1)
+//	docs:      count + per entry: key string, revision, replica string,
+//	           updated (uvarint length + time.MarshalBinary), flags byte
+//	           (bit0 deleted, bit1 metadata present), [binary document]
+//	vv:        count + (replica string, counter) pairs
+//	conflicts: count + strings
+//
+// Doc keys, vector keys and conflict keys are sorted, so equal states encode
+// to equal bytes on every replica.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"trustedcells/internal/datamodel"
+)
+
+const (
+	shardCodecMagic   = 0xD6
+	shardCodecVersion = 1
+
+	shardFlagDeleted = 1 << 0
+	shardFlagHasDoc  = 1 << 1
+)
+
+func appendTime(dst []byte, t time.Time) ([]byte, error) {
+	tb, err := t.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(tb)))
+	return append(dst, tb...), nil
+}
+
+// appendShardState appends the binary encoding of st to dst.
+func appendShardState(dst []byte, st shardState) ([]byte, error) {
+	dst = append(dst, shardCodecMagic, shardCodecVersion)
+
+	ids := make([]string, 0, len(st.Docs))
+	for id := range st.Docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		v := st.Docs[id]
+		dst = datamodel.AppendString(dst, id)
+		dst = binary.AppendUvarint(dst, v.Revision)
+		dst = datamodel.AppendString(dst, v.Replica)
+		var err error
+		if dst, err = appendTime(dst, v.Updated); err != nil {
+			return nil, fmt.Errorf("sync: encode doc %s: %w", id, err)
+		}
+		var flags byte
+		if v.Deleted {
+			flags |= shardFlagDeleted
+		}
+		if v.Doc != nil {
+			flags |= shardFlagHasDoc
+		}
+		dst = append(dst, flags)
+		if v.Doc != nil {
+			if dst, err = v.Doc.AppendBinary(dst); err != nil {
+				return nil, fmt.Errorf("sync: encode doc %s: %w", id, err)
+			}
+		}
+	}
+
+	vvKeys := make([]string, 0, len(st.VV))
+	for k := range st.VV {
+		vvKeys = append(vvKeys, k)
+	}
+	sort.Strings(vvKeys)
+	dst = binary.AppendUvarint(dst, uint64(len(vvKeys)))
+	for _, k := range vvKeys {
+		dst = datamodel.AppendString(dst, k)
+		dst = binary.AppendUvarint(dst, st.VV[k])
+	}
+
+	conflicts := make([]string, 0, len(st.Conflicts))
+	for k := range st.Conflicts {
+		conflicts = append(conflicts, k)
+	}
+	sort.Strings(conflicts)
+	dst = binary.AppendUvarint(dst, uint64(len(conflicts)))
+	for _, k := range conflicts {
+		dst = datamodel.AppendString(dst, k)
+	}
+	return dst, nil
+}
+
+var errShardCodec = fmt.Errorf("sync: malformed shard state")
+
+// decodeShardState parses a shard blob in either codec: binary states (first
+// byte shardCodecMagic) through the decoder below, anything else through the
+// JSON fallback that older replicas pushed.
+func decodeShardState(data []byte) (shardState, error) {
+	if len(data) == 0 || data[0] != shardCodecMagic {
+		var st shardState
+		if err := json.Unmarshal(data, &st); err != nil {
+			return shardState{}, fmt.Errorf("sync: decode shard state: %w", err)
+		}
+		return st, nil
+	}
+	if len(data) < 2 || data[1] != shardCodecVersion {
+		return shardState{}, errShardCodec
+	}
+	b := data[2:]
+
+	nDocs, b, err := datamodel.ConsumeUvarint(b)
+	if err != nil {
+		return shardState{}, err
+	}
+	// Each entry costs several bytes on the wire; one byte is a safe lower
+	// bound that keeps corrupted counts from forcing huge allocations.
+	if nDocs > uint64(len(b)) {
+		return shardState{}, errShardCodec
+	}
+	st := shardState{Docs: make(map[string]VersionedDoc, nDocs)}
+	for i := uint64(0); i < nDocs; i++ {
+		var id string
+		if id, b, err = datamodel.ConsumeString(b); err != nil {
+			return shardState{}, err
+		}
+		var v VersionedDoc
+		if v.Revision, b, err = datamodel.ConsumeUvarint(b); err != nil {
+			return shardState{}, err
+		}
+		if v.Replica, b, err = datamodel.ConsumeString(b); err != nil {
+			return shardState{}, err
+		}
+		var tlen uint64
+		if tlen, b, err = datamodel.ConsumeUvarint(b); err != nil {
+			return shardState{}, err
+		}
+		if tlen > uint64(len(b)) {
+			return shardState{}, errShardCodec
+		}
+		if err := v.Updated.UnmarshalBinary(b[:tlen]); err != nil {
+			return shardState{}, fmt.Errorf("%w: updated: %v", errShardCodec, err)
+		}
+		b = b[tlen:]
+		if len(b) < 1 {
+			return shardState{}, errShardCodec
+		}
+		flags := b[0]
+		b = b[1:]
+		v.Deleted = flags&shardFlagDeleted != 0
+		if flags&shardFlagHasDoc != 0 {
+			var doc *datamodel.Document
+			if doc, b, err = datamodel.DecodeDocumentPrefix(b); err != nil {
+				return shardState{}, fmt.Errorf("%w: doc %s: %v", errShardCodec, id, err)
+			}
+			v.Doc = doc
+		}
+		st.Docs[id] = v
+	}
+
+	nVV, b, err := datamodel.ConsumeUvarint(b)
+	if err != nil {
+		return shardState{}, err
+	}
+	if nVV > uint64(len(b)) {
+		return shardState{}, errShardCodec
+	}
+	if nVV > 0 {
+		st.VV = make(map[string]uint64, nVV)
+		for i := uint64(0); i < nVV; i++ {
+			var k string
+			if k, b, err = datamodel.ConsumeString(b); err != nil {
+				return shardState{}, err
+			}
+			if st.VV[k], b, err = datamodel.ConsumeUvarint(b); err != nil {
+				return shardState{}, err
+			}
+		}
+	}
+
+	nConflicts, b, err := datamodel.ConsumeUvarint(b)
+	if err != nil {
+		return shardState{}, err
+	}
+	if nConflicts > uint64(len(b)) {
+		return shardState{}, errShardCodec
+	}
+	if nConflicts > 0 {
+		st.Conflicts = make(map[string]bool, nConflicts)
+		for i := uint64(0); i < nConflicts; i++ {
+			var k string
+			if k, b, err = datamodel.ConsumeString(b); err != nil {
+				return shardState{}, err
+			}
+			st.Conflicts[k] = true
+		}
+	}
+	if len(b) != 0 {
+		return shardState{}, errShardCodec
+	}
+	return st, nil
+}

@@ -98,15 +98,21 @@ func (r *Replica) push() error {
 	r.mu.Unlock()
 
 	puts := make([]cloud.BlobPut, len(dirty))
+	bufs := make([]*[]byte, len(dirty))
 	for i, si := range dirty {
 		sealed, err := r.encodeShard(si, snaps[i])
 		if err != nil {
+			releaseShardBufs(bufs)
 			r.remarkDirty(dirty)
 			return err
 		}
-		puts[i] = cloud.BlobPut{Name: r.shardBlobName(si), Data: sealed}
+		bufs[i] = sealed
+		puts[i] = cloud.BlobPut{Name: r.shardBlobName(si), Data: *sealed}
 	}
 	versions, err := cloud.PutBlobsVia(r.cloud, puts)
+	// The provider copied (or shipped) every blob; the sealed buffers can be
+	// recycled. The traffic accounting below only reads slice-header lengths.
+	releaseShardBufs(bufs)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err != nil {

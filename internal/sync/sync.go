@@ -25,7 +25,6 @@
 package sync
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -485,30 +484,60 @@ func mapCloudErr(op string, err error) error {
 	return fmt.Errorf("sync: %s: %w", op, err)
 }
 
-// encodeShard seals one shard state for upload.
-func (r *Replica) encodeShard(si int, st shardState) ([]byte, error) {
-	payload, err := json.Marshal(st)
+// shardBufs recycles the scratch buffers of shard encode/decode: the binary
+// payload and the sealed envelope on push, the decrypted plaintext on pull.
+// Both stay within one call (the provider copies puts, the binary decoder
+// copies strings out), so the pool keeps steady-state sync free of
+// per-exchange buffer churn.
+var shardBufs crypto.BufPool
+
+// encodeShard seals one shard state for upload: binary-encode into a pooled
+// scratch buffer, seal into a second pooled buffer in one pass. The caller
+// owns the returned buffer and must hand it back to releaseShardBuf once the
+// bytes have been shipped.
+func (r *Replica) encodeShard(si int, st shardState) (*[]byte, error) {
+	pb := shardBufs.Get()
+	defer shardBufs.Put(pb)
+	payload, err := appendShardState(*pb, st)
 	if err != nil {
 		return nil, fmt.Errorf("sync: encode shard %d: %w", si, err)
 	}
-	sealed, err := crypto.Seal(r.key, payload, r.shardAD(si))
+	*pb = payload
+	sb := shardBufs.Get()
+	sealed, err := crypto.SealTo(*sb, r.key, payload, r.shardAD(si))
 	if err != nil {
+		shardBufs.Put(sb)
 		return nil, fmt.Errorf("sync: seal shard %d: %w", si, err)
 	}
-	return sealed, nil
+	*sb = sealed
+	return sb, nil
 }
 
-// decodeShard opens and verifies one sealed shard blob.
+// releaseShardBufs recycles the sealed buffers of one push exchange.
+func releaseShardBufs(bufs []*[]byte) {
+	for _, b := range bufs {
+		if b != nil {
+			shardBufs.Put(b)
+		}
+	}
+}
+
+// decodeShard opens and verifies one sealed shard blob. The decrypted
+// plaintext lives in a pooled buffer for the duration of the decode — the
+// binary codec (and the JSON fallback) copy every field out.
 func (r *Replica) decodeShard(si int, sealed []byte) (shardState, error) {
-	plain, ad, err := crypto.Open(r.key, sealed)
+	pb := shardBufs.Get()
+	defer shardBufs.Put(pb)
+	plain, ad, err := crypto.OpenTo(*pb, r.key, sealed)
 	if err != nil {
 		return shardState{}, ErrIntegrity
 	}
+	*pb = plain
 	if string(ad) != string(r.shardAD(si)) {
 		return shardState{}, ErrIntegrity
 	}
-	var st shardState
-	if err := json.Unmarshal(plain, &st); err != nil {
+	st, err := decodeShardState(plain)
+	if err != nil {
 		return shardState{}, ErrIntegrity
 	}
 	return st, nil
