@@ -277,6 +277,37 @@ func BenchmarkE12CellThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE13DurableCloud measures experiment E13 at 10k documents: batched
+// cell ingest against the in-memory provider vs the disk-backed provider
+// (group-committed WAL + LSM checkpoints), plus the crash drill — kill the
+// durable provider mid-workload, reopen, verify 100% of acknowledged blobs
+// replay. The durability overhead is expected to stay under 3x and recovery
+// to replay everything; EXPERIMENTS.md records the reference numbers.
+func BenchmarkE13DurableCloud(b *testing.B) {
+	cfg := sim.DefaultE13Config()
+	const docs = 10_000
+	var memOps, durOps, recoveryMS float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE13Size(cfg, docs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RecoveredPct != 100 {
+			b.Fatalf("recovery replayed %.1f%% of acknowledged blobs", res.RecoveredPct)
+		}
+		memOps += res.MemoryOps
+		durOps += res.DurableOps
+		recoveryMS += res.RecoveryMS
+	}
+	n := float64(b.N)
+	b.ReportMetric(memOps/n, "memory-docs/sec")
+	b.ReportMetric(durOps/n, "durable-docs/sec")
+	b.ReportMetric(recoveryMS/n, "recovery-ms")
+	if durOps > 0 {
+		b.ReportMetric(memOps/durOps, "durable-overhead")
+	}
+}
+
 // BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture
 // walk-through (all flows of the paper's only figure).
 func BenchmarkFig1Walkthrough(b *testing.B) {

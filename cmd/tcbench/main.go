@@ -1,20 +1,23 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E12) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E13) plus the Figure 1 architecture walk-through.
 //
-//	tcbench -experiment all              # run everything
-//	tcbench -experiment e4               # one experiment
-//	tcbench -run e12                     # filter flag: just the fast-path study
-//	tcbench -run e9,e10,e11,e12 -quick   # CI-sized configurations
-//	tcbench -run e9,e10,e11,e12 -quick -json -out BENCH_E12.json
-//	tcbench -gate ci/bench_baseline.json -in BENCH_E12.json
+//	tcbench -experiment all                  # run everything
+//	tcbench -experiment e4                   # one experiment
+//	tcbench -run e13                         # filter flag: just the durability study
+//	tcbench -run e9,e10,e11,e12,e13 -quick   # CI-sized configurations
+//	tcbench -run e9,e10,e11,e12,e13 -quick -json -out BENCH_E13.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E13.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E12.json,BENCH_E13.json
 //	tcbench -experiment fig1 -out report.txt
 //
 // The -json flag emits the same tables machine-readably, including each
 // experiment's headline Metrics; CI and humans consume the same output path.
-// The -gate mode compares a previously emitted JSON report against a
-// committed baseline of metric floors and exits non-zero when any metric
-// regresses beyond the baseline's tolerance — the bench-trend gate CI runs on
-// every pull request.
+// The -gate mode compares previously emitted JSON reports (-in accepts a
+// comma-separated list, merged) against a committed baseline and exits
+// non-zero on regression — the bench-trend gate CI runs on every pull
+// request. The baseline carries two kinds of bounds: "metrics" are floors for
+// higher-is-better numbers (throughput, speedups), "ceilings" are upper
+// bounds for lower-is-better numbers (durability overhead, recovery time).
 package main
 
 import (
@@ -32,13 +35,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e12, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e13, fig1) or 'all'")
 		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e11' or 'e9,e10,e11'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		jsonOut    = flag.Bool("json", false, "emit JSON (tables + metrics) instead of rendered text")
 		quick      = flag.Bool("quick", false, "CI-sized configurations (headline scale point only)")
-		gate       = flag.String("gate", "", "baseline file: compare a -json report (see -in) against committed metric floors and fail on regression")
-		in         = flag.String("in", "", "with -gate: the -json report to check (default: run the experiments fresh)")
+		gate       = flag.String("gate", "", "baseline file: compare -json reports (see -in) against committed metric floors/ceilings and fail on regression")
+		in         = flag.String("in", "", "with -gate: comma-separated -json report(s) to check, merged (default: run the experiments fresh)")
 	)
 	flag.Parse()
 
@@ -138,22 +141,54 @@ func selectExperiments(experiment, run string) ([]string, error) {
 	return pick(experiment)
 }
 
-// baseline is the committed bench-trend floor file. Floors are deliberately
+// baseline is the committed bench-trend bounds file. Bounds are deliberately
 // conservative — they exist to catch order-of-magnitude regressions on shared
-// CI runners, not to benchmark the runner — and a metric fails the gate when
-// it drops more than Tolerance below its floor.
+// CI runners, not to benchmark the runner. A floored metric fails when it
+// drops more than Tolerance below its floor; a ceilinged metric fails when it
+// rises more than Tolerance above its ceiling.
 type baseline struct {
-	// Tolerance is the fraction a metric may fall below its floor before the
-	// gate fails (0.25 = fail when regressed >25% against the baseline).
+	// Tolerance is the fraction a metric may cross its bound before the gate
+	// fails (0.25 = fail when regressed >25% against the baseline).
 	Tolerance float64 `json:"tolerance"`
 	// Metrics maps "<experiment>.<metric>" (e.g. "e11.bytes_ratio") to its
-	// floor. All gated metrics are higher-is-better.
+	// floor; these metrics are higher-is-better.
 	Metrics map[string]float64 `json:"metrics"`
+	// Ceilings maps "<experiment>.<metric>" (e.g. "e13.durable_overhead") to
+	// its upper bound; these metrics are lower-is-better.
+	Ceilings map[string]float64 `json:"ceilings,omitempty"`
+	// StrictMetrics are floors with NO tolerance, for metrics that are
+	// deterministic rather than timing-dependent (allocation counts,
+	// recovery percentages): any value below the floor fails.
+	StrictMetrics map[string]float64 `json:"strict_metrics,omitempty"`
 }
 
-// runGate loads the baseline and a JSON report (from -in, or freshly run) and
-// fails on any gated metric regressing beyond the tolerance.
-func runGate(gateFile, inFile, run string, quick bool) error {
+// loadReports reads and merges one or more -json report files (a
+// comma-separated -in list), so the gate can check metrics produced by
+// separate tcbench invocations — e.g. the main suite and the durability
+// suite — in one pass.
+func loadReports(inFiles string) ([]*sim.Table, error) {
+	var tables []*sim.Table
+	for _, file := range strings.Split(inFiles, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var part []*sim.Table
+		if err := json.Unmarshal(data, &part); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		tables = append(tables, part...)
+	}
+	return tables, nil
+}
+
+// runGate loads the baseline and the JSON reports (from -in, or freshly run)
+// and fails on any gated metric crossing its bound beyond the tolerance.
+func runGate(gateFile, inFiles, run string, quick bool) error {
 	raw, err := os.ReadFile(gateFile)
 	if err != nil {
 		return fmt.Errorf("gate: %w", err)
@@ -167,17 +202,13 @@ func runGate(gateFile, inFile, run string, quick bool) error {
 	}
 
 	var tables []*sim.Table
-	if inFile != "" {
-		data, err := os.ReadFile(inFile)
-		if err != nil {
+	if inFiles != "" {
+		if tables, err = loadReports(inFiles); err != nil {
 			return fmt.Errorf("gate: %w", err)
-		}
-		if err := json.Unmarshal(data, &tables); err != nil {
-			return fmt.Errorf("gate: parsing %s: %w", inFile, err)
 		}
 	} else {
 		if run == "" {
-			run = "e9,e10,e11,e12"
+			run = "e9,e10,e11,e12,e13"
 		}
 		if tables, err = runExperiments("", run, quick); err != nil {
 			return fmt.Errorf("gate: %w", err)
@@ -190,32 +221,53 @@ func runGate(gateFile, inFile, run string, quick bool) error {
 		}
 	}
 
-	keys := make([]string, 0, len(base.Metrics))
-	for k := range base.Metrics {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	failed := 0
-	for _, key := range keys {
-		floor := base.Metrics[key]
+	check := func(key, kind string, bound, tolerance float64) {
 		got, ok := current[key]
+		limit := bound * (1 - tolerance)
+		breached := func() bool { return got < limit }
+		cmp := "<"
+		if kind == "ceiling" {
+			limit = bound * (1 + tolerance)
+			breached = func() bool { return got > limit }
+			cmp = ">"
+		}
 		switch {
 		case !ok:
 			failed++
-			fmt.Printf("FAIL %-28s missing from report (floor %.2f)\n", key, floor)
-		case got < floor*(1-base.Tolerance):
+			fmt.Printf("FAIL %-28s missing from report (%s %.2f)\n", key, kind, bound)
+		case breached():
 			failed++
-			fmt.Printf("FAIL %-28s %.2f < %.2f (floor %.2f - %.0f%%)\n",
-				key, got, floor*(1-base.Tolerance), floor, base.Tolerance*100)
+			fmt.Printf("FAIL %-28s %.2f %s %.2f (%s %.2f ± %.0f%%)\n",
+				key, got, cmp, limit, kind, bound, tolerance*100)
 		default:
-			fmt.Printf("ok   %-28s %.2f (floor %.2f, tolerance %.0f%%)\n",
-				key, got, floor, base.Tolerance*100)
+			fmt.Printf("ok   %-28s %.2f (%s %.2f, tolerance %.0f%%)\n",
+				key, got, kind, bound, tolerance*100)
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("bench-trend gate: %d metric(s) regressed >%.0f%% against %s",
-			failed, base.Tolerance*100, gateFile)
+	for _, key := range sortedKeys(base.Metrics) {
+		check(key, "floor", base.Metrics[key], base.Tolerance)
 	}
-	fmt.Printf("bench-trend gate: %d metric(s) within tolerance\n", len(keys))
+	for _, key := range sortedKeys(base.Ceilings) {
+		check(key, "ceiling", base.Ceilings[key], base.Tolerance)
+	}
+	for _, key := range sortedKeys(base.StrictMetrics) {
+		check(key, "strict floor", base.StrictMetrics[key], 0)
+	}
+	total := len(base.Metrics) + len(base.Ceilings) + len(base.StrictMetrics)
+	if failed > 0 {
+		return fmt.Errorf("bench-trend gate: %d of %d metric(s) regressed >%.0f%% against %s",
+			failed, total, base.Tolerance*100, gateFile)
+	}
+	fmt.Printf("bench-trend gate: %d metric(s) within tolerance\n", total)
 	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -3,8 +3,15 @@
 // mailboxes for cell-to-cell messages. Cells (cmd/tccell) and applications
 // connect to it with trustedcells.DialCloud.
 //
-// The server can be started with an adversarial behaviour to demonstrate that
-// cells detect integrity attacks:
+// By default the store is in-memory. With -data-dir it becomes the durable
+// disk-backed store: every acknowledged write is covered by a group-committed
+// write-ahead log, and restarting the server replays the log and rebuilds its
+// LSM runs — clients observe the same wire protocol either way:
+//
+//	tccloud -addr :7070 -data-dir /var/lib/tccloud
+//
+// The in-memory server can be started with an adversarial behaviour to
+// demonstrate that cells detect integrity attacks:
 //
 //	tccloud -addr :7070 -adversary tampering -rate 0.01
 package main
@@ -15,7 +22,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"trustedcells/internal/cloud"
 )
@@ -23,7 +32,9 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "address to listen on")
-		adversary = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping")
+		dataDir   = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
+		shards    = flag.Int("shards", cloud.DefaultShards, "shard count (fixed at first open for a durable store)")
+		adversary = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
 		rate      = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
 		seed      = flag.Int64("seed", 1, "adversary random seed")
 	)
@@ -49,14 +60,63 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := cloud.NewMemoryWithAdversary(cfg)
+	var svc cloud.Service
+	var durable *cloud.Durable
+	if *dataDir != "" {
+		if cfg.Mode != cloud.Honest {
+			fmt.Fprintln(os.Stderr, "adversary injection is an in-memory feature; -data-dir requires -adversary honest")
+			os.Exit(2)
+		}
+		opts := cloud.DefaultDurableOptions()
+		opts.Shards = *shards
+		d, err := cloud.OpenDurable(*dataDir, opts)
+		if err != nil {
+			log.Fatalf("tccloud: open durable store: %v", err)
+		}
+		rec := d.RecoveryStats()
+		log.Printf("tccloud: recovered %s in %v: %d shards, %d runs, %d WAL records (%d ops) replayed, %d pending messages",
+			*dataDir, rec.Elapsed.Round(0), rec.Shards, rec.RecoveredRuns,
+			rec.ReplayedRecords, rec.ReplayedOps, rec.PendingMessages)
+		if rec.DiscardedWALBytes > 0 || rec.DiscardedRunBytes > 0 {
+			log.Printf("tccloud: truncated torn tails: %d WAL bytes, %d run bytes",
+				rec.DiscardedWALBytes, rec.DiscardedRunBytes)
+		}
+		svc, durable = d, d
+	} else {
+		svc = cloud.NewMemoryWithAdversary(cfg)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("tccloud: listen: %v", err)
 	}
-	log.Printf("tccloud: serving the untrusted infrastructure on %s (adversary=%s)", ln.Addr(), cfg.Mode)
+	backend := "memory"
+	if durable != nil {
+		backend = "durable"
+	}
+	log.Printf("tccloud: serving the untrusted infrastructure on %s (backend=%s adversary=%s)",
+		ln.Addr(), backend, cfg.Mode)
 	srv := cloud.NewServer(svc)
-	if err := srv.Serve(ln); err != nil {
+
+	// A durable store wants a graceful shutdown: checkpoint the memtables and
+	// close the WALs so the next start replays nothing. (A kill -9 is also
+	// fine — that is the point — it just pays the WAL replay.)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("tccloud: %v: shutting down", s)
+		_ = srv.Close() // closes the listener; Serve returns nil once drained
+	}()
+
+	err = srv.Serve(ln)
+	if durable != nil {
+		if cerr := durable.Close(); cerr != nil {
+			log.Fatalf("tccloud: close durable store: %v", cerr)
+		}
+		log.Printf("tccloud: durable store checkpointed")
+	}
+	if err != nil {
 		log.Fatalf("tccloud: %v", err)
 	}
 }

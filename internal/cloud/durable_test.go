@@ -1,0 +1,432 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serviceUnderTest builds each backend the conformance battery runs against.
+// Durable gets a small shard count so the per-shard paths (and the META.json
+// shard pinning) are exercised without 32 directories per test.
+func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
+	return map[string]func(t *testing.T) Service{
+		"memory": func(t *testing.T) Service { return NewMemory() },
+		"durable": func(t *testing.T) Service {
+			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 4})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			t.Cleanup(func() { _ = d.Close() })
+			return d
+		},
+	}
+}
+
+// TestServiceConformance runs the same behavioural battery over every backend:
+// the contracts of Service, BatchService and ConditionalBatchService must be
+// indistinguishable between the RAM store and the disk store.
+func TestServiceConformance(t *testing.T) {
+	for name, mk := range serviceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			svc := mk(t)
+
+			// Blob lifecycle: versioning, round trip, delete idempotency.
+			v, err := svc.PutBlob("alice/vault/doc-1", []byte("ciphertext"))
+			if err != nil || v != 1 {
+				t.Fatalf("PutBlob: v=%d err=%v", v, err)
+			}
+			b, err := svc.GetBlob("alice/vault/doc-1")
+			if err != nil || !bytes.Equal(b.Data, []byte("ciphertext")) || b.Version != 1 {
+				t.Fatalf("GetBlob: %+v %v", b, err)
+			}
+			if b.Stored.IsZero() {
+				t.Fatal("Stored timestamp not set")
+			}
+			if v, _ = svc.PutBlob("alice/vault/doc-1", []byte("v2")); v != 2 {
+				t.Fatalf("second version = %d", v)
+			}
+			// Returned data must be a private copy.
+			b, _ = svc.GetBlob("alice/vault/doc-1")
+			b.Data[0] = 'X'
+			again, _ := svc.GetBlob("alice/vault/doc-1")
+			if again.Data[0] == 'X' {
+				t.Fatal("GetBlob exposes shared storage")
+			}
+			if err := svc.DeleteBlob("alice/vault/doc-1"); err != nil {
+				t.Fatalf("DeleteBlob: %v", err)
+			}
+			if _, err := svc.GetBlob("alice/vault/doc-1"); err != ErrBlobNotFound {
+				t.Fatalf("after delete: %v", err)
+			}
+			if err := svc.DeleteBlob("never-existed"); err != nil {
+				t.Fatalf("delete idempotency: %v", err)
+			}
+
+			// Listing: prefix filter, sorted output.
+			for i := 0; i < 5; i++ {
+				_, _ = svc.PutBlob(fmt.Sprintf("alice/doc-%d", i), []byte("x"))
+			}
+			_, _ = svc.PutBlob("bob/doc-0", []byte("x"))
+			names, err := svc.ListBlobs("alice/")
+			if err != nil || len(names) != 5 {
+				t.Fatalf("ListBlobs = %v, %v", names, err)
+			}
+			for i := 1; i < len(names); i++ {
+				if names[i-1] >= names[i] {
+					t.Fatal("names not sorted")
+				}
+			}
+			if all, _ := svc.ListBlobs(""); len(all) != 6 {
+				t.Fatalf("all blobs = %d", len(all))
+			}
+
+			// Mailboxes: FIFO, bounded receive, metadata fill-in.
+			for i := 0; i < 3; i++ {
+				err := svc.Send(Message{From: "alice", To: "bob", Kind: "share-offer",
+					Body: []byte(fmt.Sprintf("m%d", i))})
+				if err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}
+			msgs, err := svc.Receive("bob", 2)
+			if err != nil || len(msgs) != 2 {
+				t.Fatalf("Receive: %d %v", len(msgs), err)
+			}
+			if string(msgs[0].Body) != "m0" || string(msgs[1].Body) != "m1" {
+				t.Fatalf("wrong order: %q %q", msgs[0].Body, msgs[1].Body)
+			}
+			if msgs[0].ID == "" || msgs[0].Sent.IsZero() || msgs[0].From != "alice" || msgs[0].Kind != "share-offer" {
+				t.Fatalf("message metadata not preserved: %+v", msgs[0])
+			}
+			if msgs, _ = svc.Receive("bob", 0); len(msgs) != 1 {
+				t.Fatalf("remaining = %d", len(msgs))
+			}
+			if msgs, _ = svc.Receive("bob", 10); len(msgs) != 0 {
+				t.Fatal("mailbox should be empty")
+			}
+			if msgs, _ = svc.Receive("nobody", 10); len(msgs) != 0 {
+				t.Fatal("unknown recipient should have empty mailbox")
+			}
+
+			// Batch put/get: versions in argument order, missing names zero.
+			versions, err := PutBlobsVia(svc, []BlobPut{
+				{Name: "batch/a", Data: []byte("aa")},
+				{Name: "bob/doc-0", Data: []byte("v2")},
+				{Name: "batch/b", Data: []byte("bb")},
+			})
+			if err != nil || len(versions) != 3 || versions[0] != 1 || versions[1] != 2 || versions[2] != 1 {
+				t.Fatalf("PutBlobs versions = %v, %v", versions, err)
+			}
+			blobs, err := GetBlobsVia(svc, []string{"missing", "batch/a", "batch/b"})
+			if err != nil {
+				t.Fatalf("GetBlobs: %v", err)
+			}
+			if blobs[0].Version != 0 || string(blobs[1].Data) != "aa" || string(blobs[2].Data) != "bb" {
+				t.Fatalf("GetBlobs: %+v", blobs)
+			}
+
+			// Conditional fetch: unadvanced versions ship no data.
+			got, err := GetBlobsIfVia(svc, []CondGet{
+				{Name: "batch/a", IfNewer: 1},   // current 1: not advanced
+				{Name: "bob/doc-0", IfNewer: 1}, // current 2: advanced
+				{Name: "missing", IfNewer: 0},
+			})
+			if err != nil {
+				t.Fatalf("GetBlobsIf: %v", err)
+			}
+			if got[0].Version != 1 || got[0].Data != nil {
+				t.Fatalf("unadvanced blob should ship version only: %+v", got[0])
+			}
+			if got[1].Version != 2 || string(got[1].Data) != "v2" {
+				t.Fatalf("advanced blob should ship data: %+v", got[1])
+			}
+			if got[2].Version != 0 {
+				t.Fatalf("missing blob should be zero: %+v", got[2])
+			}
+
+			// Counters add up per blob, not per call.
+			st := svc.Stats()
+			if st.Puts < 9 || st.Sends != 3 || st.Receives < 2 {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestDurableConcurrentStress is the disk-backed twin of the sharded memory
+// stress test: every operation hammered from many goroutines, run under
+// -race in CI.
+func TestDurableConcurrentStress(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 8, MemtableBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const (
+		workers      = 8
+		blobsPerWork = 24 // divisible by 4 and 8 so the modulo counters add up
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prefix := fmt.Sprintf("cell-%02d", w)
+			for i := 0; i < blobsPerWork; i++ {
+				name := fmt.Sprintf("%s/vault/doc-%03d", prefix, i)
+				if _, err := d.PutBlob(name, []byte(name)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if i%4 == 0 {
+					puts := []BlobPut{
+						{Name: name, Data: []byte("v2")},
+						{Name: name + "-side", Data: []byte("side")},
+					}
+					if _, err := d.PutBlobs(puts); err != nil {
+						t.Errorf("batch put: %v", err)
+						return
+					}
+				}
+				if _, err := d.GetBlob(name); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if _, err := d.GetBlobs([]string{name, "nope"}); err != nil {
+					t.Errorf("batch get: %v", err)
+					return
+				}
+				if err := d.Send(Message{From: prefix, To: fmt.Sprintf("cell-%02d", (w+1)%workers), Body: []byte("ping")}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				if _, err := d.Receive(prefix, 4); err != nil {
+					t.Errorf("receive: %v", err)
+					return
+				}
+				if i%8 == 0 {
+					if _, err := d.ListBlobs(prefix); err != nil {
+						t.Errorf("list: %v", err)
+						return
+					}
+					if err := d.DeleteBlob(name + "-gone"); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := d.Stats()
+	wantPuts := int64(workers * (blobsPerWork + 2*(blobsPerWork/4)))
+	if st.Puts != wantPuts {
+		t.Fatalf("Puts = %d, want %d", st.Puts, wantPuts)
+	}
+	names, err := d.ListBlobs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workers * (blobsPerWork + blobsPerWork/4)
+	if len(names) != want {
+		t.Fatalf("final blob count = %d, want %d", len(names), want)
+	}
+}
+
+// TestDurableSurvivesCrash writes through every state-bearing path, simulates
+// a kill, and verifies a reopened store serves the exact acknowledged state.
+func TestDurableSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := d.PutBlob(fmt.Sprintf("vault/doc-%03d", i), []byte(fmt.Sprintf("sealed-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites bump versions; deletes tombstone.
+	if v, _ := d.PutBlob("vault/doc-000", []byte("sealed-v2")); v != 2 {
+		t.Fatalf("version = %d", v)
+	}
+	if err := d.DeleteBlob("vault/doc-001"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Send(Message{From: "a", To: "bob", Body: []byte(fmt.Sprintf("m%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if msgs, err := d.Receive("bob", 2); err != nil || len(msgs) != 2 {
+		t.Fatalf("receive before crash: %d %v", len(msgs), err)
+	}
+	d.Crash()
+
+	d2, err := OpenDurable(dir, DurableOptions{Shards: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.RecoveryStats()
+	if rec.Shards != 4 || rec.ReplayedRecords == 0 {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+	names, err := d2.ListBlobs("")
+	if err != nil || len(names) != 49 {
+		t.Fatalf("recovered %d blobs (%v)", len(names), err)
+	}
+	b, err := d2.GetBlob("vault/doc-000")
+	if err != nil || b.Version != 2 || string(b.Data) != "sealed-v2" {
+		t.Fatalf("recovered overwrite: %+v %v", b, err)
+	}
+	if _, err := d2.GetBlob("vault/doc-001"); err != ErrBlobNotFound {
+		t.Fatalf("recovered delete: %v", err)
+	}
+	// The popped messages stay popped; the pending three survive in order.
+	msgs, err := d2.Receive("bob", 10)
+	if err != nil || len(msgs) != 3 {
+		t.Fatalf("recovered mailbox: %d %v", len(msgs), err)
+	}
+	if string(msgs[0].Body) != "m2" || string(msgs[2].Body) != "m4" {
+		t.Fatalf("mailbox order after recovery: %q %q", msgs[0].Body, msgs[2].Body)
+	}
+	// New sends must sort after recovered ones (sequence restored).
+	if err := d2.Send(Message{From: "a", To: "carol", Body: []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d2.Receive("carol", 1); len(got) != 1 || got[0].Seq <= msgs[2].Seq {
+		t.Fatalf("sequence did not resume: %+v after %d", got, msgs[2].Seq)
+	}
+}
+
+// TestDurableReopenAfterClose exercises the graceful path: Close checkpoints,
+// so reopening replays runs, not WAL records.
+func TestDurableReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PutBlobs([]BlobPut{
+		{Name: "a", Data: []byte("1")},
+		{Name: "b", Data: []byte("2")},
+		{Name: "c", Data: []byte("3")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.RecoveryStats()
+	if rec.ReplayedRecords != 0 || rec.RecoveredRuns == 0 {
+		t.Fatalf("graceful close should recover from runs: %+v", rec)
+	}
+	blobs, err := d2.GetBlobs([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"1", "2", "3"} {
+		if string(blobs[i].Data) != want {
+			t.Fatalf("blob %d = %+v", i, blobs[i])
+		}
+	}
+}
+
+// TestDurableShardCountPinned proves reopening with a different Shards option
+// still routes keys correctly: the committed META.json wins.
+func TestDurableShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := d.PutBlob(fmt.Sprintf("doc-%03d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.ShardCount() != 4 {
+		t.Fatalf("shard count drifted to %d", d2.ShardCount())
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := d2.GetBlob(fmt.Sprintf("doc-%03d", i)); err != nil {
+			t.Fatalf("doc-%03d unroutable after reopen: %v", i, err)
+		}
+	}
+}
+
+// TestDurableCompactionBoundsRuns drives enough flushes to trigger background
+// compaction and verifies the store stays correct through and after it.
+func TestDurableCompactionBoundsRuns(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{Shards: 2, MemtableBytes: 2 << 10, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("p"), 256)
+	for i := 0; i < 120; i++ {
+		if _, err := d.PutBlob(fmt.Sprintf("doc-%04d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for d.EngineStats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no compaction: %+v", d.EngineStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	names, err := d.ListBlobs("")
+	if err != nil || len(names) != 120 {
+		t.Fatalf("blobs after compaction: %d %v", len(names), err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if names, _ := d2.ListBlobs(""); len(names) != 120 {
+		t.Fatalf("blobs after reopen: %d", len(names))
+	}
+}
+
+// TestDurableClockOverride keeps experiments deterministic.
+func TestDurableClockOverride(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	fixed := time.Date(2013, 1, 7, 0, 0, 0, 0, time.UTC)
+	d.SetClock(func() time.Time { return fixed })
+	if _, err := d.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.GetBlob("doc")
+	if err != nil || !b.Stored.Equal(fixed) {
+		t.Fatalf("Stored = %v, want %v (%v)", b.Stored, fixed, err)
+	}
+}

@@ -133,14 +133,22 @@ func NewMemoryShardsWithAdversary(shards int, cfg AdversaryConfig) *Memory {
 // ShardCount returns the number of shards of the store.
 func (m *Memory) ShardCount() int { return len(m.shards) }
 
-// shardIndex maps a blob name or mailbox recipient onto a shard index.
-func (m *Memory) shardIndex(key string) int {
-	if len(m.shards) == 1 {
+// shardIndexOf maps a blob name or mailbox recipient onto one of shards
+// partitions by FNV-1a hash. It is the striping function shared by every
+// sharded backend (Memory, Durable): identical hashing means a workload's
+// contention profile is a property of its key set, not of the backend.
+func shardIndexOf(key string, shards int) int {
+	if shards <= 1 {
 		return 0
 	}
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(m.shards)))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// shardIndex maps a blob name or mailbox recipient onto a shard index.
+func (m *Memory) shardIndex(key string) int {
+	return shardIndexOf(key, len(m.shards))
 }
 
 // shardFor maps a blob name or mailbox recipient onto its shard.
@@ -482,10 +490,16 @@ type shardGroup struct {
 // groupByShard buckets n argument indices by the shard of their key, so batch
 // operations lock each shard once.
 func (m *Memory) groupByShard(n int, key func(int) string) []shardGroup {
+	return groupKeysByShard(n, len(m.shards), key)
+}
+
+// groupKeysByShard buckets n argument indices by the shard of their key; it
+// backs the batch operations of every sharded backend.
+func groupKeysByShard(n, shards int, key func(int) string) []shardGroup {
 	buckets := make(map[int]*shardGroup)
 	var order []*shardGroup
 	for i := 0; i < n; i++ {
-		idx := m.shardIndex(key(i))
+		idx := shardIndexOf(key(i), shards)
 		g, ok := buckets[idx]
 		if !ok {
 			g = &shardGroup{shard: idx}

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(ids))
 	}
 }
 
@@ -351,6 +351,45 @@ func TestRunE12Shape(t *testing.T) {
 	}
 	if table.Metrics["fast_ingest_docs_per_sec"] <= 0 || table.Metrics["fast_read_docs_per_sec"] <= 0 {
 		t.Fatalf("cell throughput missing: %v", table.Metrics)
+	}
+}
+
+// TestRunE13Shape verifies the durable-provider experiment at a reduced
+// scale. Throughput numbers are machine-dependent, but the durability claims
+// are not: the crash drill must replay 100% of the acknowledged blobs, and
+// recovery must actually have replayed WAL state.
+func TestRunE13Shape(t *testing.T) {
+	cfg := E13Config{
+		CatalogSizes:  []int{800},
+		PayloadSize:   512,
+		BatchSize:     128,
+		Shards:        4,
+		MemtableBytes: 32 << 10,
+		MaxRuns:       4,
+		KillFrac:      0.5,
+	}
+	table, err := RunE13(cfg)
+	if err != nil {
+		t.Fatalf("RunE13: %v", err)
+	}
+	// Two rows (memory, durable) per catalog size.
+	if len(table.Rows) != 2*len(cfg.CatalogSizes) {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if table.Metrics["durable_ingest_docs_per_sec"] <= 0 {
+		t.Fatalf("durable throughput missing: %v\n%s", table.Metrics, table)
+	}
+	if pct := table.Metrics["recovered_pct"]; pct != 100 {
+		t.Fatalf("recovery must replay 100%% of acknowledged blobs, got %.1f%%\n%s", pct, table)
+	}
+	if table.Metrics["replayed_blobs"] <= 0 {
+		t.Fatalf("no blobs replayed: %v\n%s", table.Metrics, table)
+	}
+	if table.Metrics["recovery_ms"] < 0 {
+		t.Fatalf("recovery time missing: %v", table.Metrics)
+	}
+	if table.Metrics["durable_overhead"] <= 0 {
+		t.Fatalf("overhead metric missing: %v", table.Metrics)
 	}
 }
 

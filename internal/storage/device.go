@@ -52,6 +52,42 @@ type Device interface {
 	Sync() error
 }
 
+// Truncater is the optional truncation extension of Device. The persistent
+// engine uses it to discard a torn tail detected during recovery and to reset
+// the write-ahead log after a checkpoint; every device in this package
+// implements it.
+type Truncater interface {
+	// Truncate discards everything past size bytes.
+	Truncate(size int64) error
+}
+
+// fullWrite verifies a WriteAt result: a device that reports fewer bytes than
+// requested without an error (a misbehaving flash controller, a full
+// filesystem that lies) must still surface a partial-write error to the
+// engine instead of letting a half-written record masquerade as committed.
+func fullWrite(n, want int, err error) error {
+	if err != nil {
+		return err
+	}
+	if n < want {
+		return fmt.Errorf("storage: partial write (%d of %d bytes): %w", n, want, io.ErrShortWrite)
+	}
+	return nil
+}
+
+// fullRead verifies a ReadAt result the same way: short reads with a nil
+// error become ErrUnexpectedEOF rather than leaving stale buffer bytes to be
+// parsed as record content.
+func fullRead(n, want int, err error) error {
+	if n >= want {
+		return nil // the requested bytes arrived; EOF exactly at the end is fine
+	}
+	if err == nil || err == io.EOF {
+		return fmt.Errorf("storage: short read (%d of %d bytes): %w", n, want, io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
 // MemDevice is an in-memory Device used for tests, simulations and volatile
 // caches. A capacity of zero means unbounded.
 type MemDevice struct {
@@ -107,6 +143,19 @@ func (d *MemDevice) Size() int64 {
 // Sync is a no-op for the memory device.
 func (d *MemDevice) Sync() error { return nil }
 
+// Truncate discards everything past size bytes.
+func (d *MemDevice) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: truncate to negative size %d", size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size < int64(len(d.data)) {
+		d.data = d.data[:size]
+	}
+	return nil
+}
+
 // FileDevice is a Device backed by an operating-system file. It is used when
 // a cell persists its encrypted local cache on an SD card or disk.
 type FileDevice struct {
@@ -152,6 +201,22 @@ func (d *FileDevice) Size() int64 {
 
 // Sync flushes the file.
 func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Truncate discards everything past size bytes.
+func (d *FileDevice) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: truncate to negative size %d", size)
+	}
+	if err := d.f.Truncate(size); err != nil {
+		return fmt.Errorf("storage: truncate device: %w", err)
+	}
+	d.mu.Lock()
+	if size < d.size {
+		d.size = size
+	}
+	d.mu.Unlock()
+	return nil
+}
 
 // Close closes the underlying file.
 func (d *FileDevice) Close() error { return d.f.Close() }
@@ -200,3 +265,11 @@ func (d *MeteredDevice) Size() int64 { return d.inner.Size() }
 
 // Sync syncs the inner device.
 func (d *MeteredDevice) Sync() error { return d.inner.Sync() }
+
+// Truncate truncates the inner device when it supports truncation.
+func (d *MeteredDevice) Truncate(size int64) error {
+	if t, ok := d.inner.(Truncater); ok {
+		return t.Truncate(size)
+	}
+	return fmt.Errorf("storage: device does not support truncation")
+}

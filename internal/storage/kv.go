@@ -291,6 +291,14 @@ func (kv *KV) compactLocked() error {
 // slice where newer versions shadow older ones. Tombstones are retained so
 // callers can decide whether to drop them.
 func (kv *KV) mergedEntriesLocked(start, end []byte) ([]memEntry, error) {
+	return mergeEntries(kv.dev, kv.runs, kv.mem, start, end)
+}
+
+// mergeEntries merges a run stack (oldest first) and a memtable into a single
+// sorted slice where newer versions shadow older ones. Tombstones are
+// retained so callers can decide whether to drop them. It is shared by the
+// volatile KV and the crash-safe PersistentKV.
+func mergeEntries(dev Device, runs []*run, mem *memtable, start, end []byte) ([]memEntry, error) {
 	// Collect sources oldest → newest so that later inserts overwrite.
 	byKey := make(map[string]memEntry)
 	var order [][]byte
@@ -301,12 +309,12 @@ func (kv *KV) mergedEntriesLocked(start, end []byte) ([]memEntry, error) {
 		}
 		byKey[k] = e
 	}
-	for _, r := range kv.runs {
-		if err := r.scan(kv.dev, start, end, func(e memEntry) bool { add(e); return true }); err != nil {
+	for _, r := range runs {
+		if err := r.scan(dev, start, end, func(e memEntry) bool { add(e); return true }); err != nil {
 			return nil, err
 		}
 	}
-	kv.mem.scan(start, end, func(e memEntry) bool { add(e); return true })
+	mem.scan(start, end, func(e memEntry) bool { add(e); return true })
 	out := make([]memEntry, 0, len(order))
 	for _, k := range order {
 		out = append(out, byKey[string(k)])

@@ -25,7 +25,10 @@ func NewAppendLog(dev Device) *AppendLog {
 	return &AppendLog{dev: dev, head: dev.Size()}
 }
 
-// Append writes one record and returns its offset.
+// Append writes one record and returns its offset. A partial write (the
+// device storing fewer bytes than the record without reporting an error) is
+// surfaced as an error: the head does not advance, so the torn bytes are
+// overwritten by the next append instead of being parsed as a record.
 func (l *AppendLog) Append(payload []byte) (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -34,23 +37,37 @@ func (l *AppendLog) Append(payload []byte) (int64, error) {
 	binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
 	copy(buf[logHeaderSize:], payload)
 	off := l.head
-	if _, err := l.dev.WriteAt(buf, off); err != nil {
+	n, err := l.dev.WriteAt(buf, off)
+	if err := fullWrite(n, len(buf), err); err != nil {
 		return 0, fmt.Errorf("storage: log append: %w", err)
 	}
 	l.head += int64(len(buf))
 	return off, nil
 }
 
-// ReadAt reads the record stored at offset off.
+// ReadAt reads the record stored at offset off. The declared length is
+// validated against the device extent before the payload is allocated, so a
+// corrupted header cannot demand a multi-gigabyte buffer; short reads and
+// checksum mismatches both come back as ErrCorrupt-wrapped errors.
 func (l *AppendLog) ReadAt(off int64) ([]byte, error) {
+	size := l.dev.Size()
+	if off < 0 || off+logHeaderSize > size {
+		return nil, fmt.Errorf("storage: log read header at %d past device end %d: %w", off, size, ErrCorrupt)
+	}
 	header := make([]byte, logHeaderSize)
-	if _, err := l.dev.ReadAt(header, off); err != nil {
+	n, err := l.dev.ReadAt(header, off)
+	if err := fullRead(n, logHeaderSize, err); err != nil {
 		return nil, fmt.Errorf("storage: log read header: %w", err)
 	}
 	want := binary.BigEndian.Uint32(header[0:4])
-	length := binary.BigEndian.Uint32(header[4:8])
+	length := int64(binary.BigEndian.Uint32(header[4:8]))
+	if off+logHeaderSize+length > size {
+		return nil, fmt.Errorf("storage: log record of %d bytes at %d exceeds device end %d: %w",
+			length, off, size, ErrCorrupt)
+	}
 	payload := make([]byte, length)
-	if _, err := l.dev.ReadAt(payload, off+logHeaderSize); err != nil {
+	n, err = l.dev.ReadAt(payload, off+logHeaderSize)
+	if err := fullRead(n, int(length), err); err != nil {
 		return nil, fmt.Errorf("storage: log read payload: %w", err)
 	}
 	if crc32.ChecksumIEEE(payload) != want {
@@ -87,3 +104,20 @@ func (l *AppendLog) Scan(fn func(off int64, payload []byte) bool) error {
 
 // Sync flushes the underlying device.
 func (l *AppendLog) Sync() error { return l.dev.Sync() }
+
+// Reset discards every record and rewinds the head to zero. It is how the
+// persistent engine retires a write-ahead log whose content has been
+// checkpointed into a durable run. The device must support truncation.
+func (l *AppendLog) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.dev.(Truncater)
+	if !ok {
+		return fmt.Errorf("storage: log device does not support truncation")
+	}
+	if err := t.Truncate(0); err != nil {
+		return fmt.Errorf("storage: log reset: %w", err)
+	}
+	l.head = 0
+	return nil
+}

@@ -110,15 +110,89 @@ func writeRun(dev Device, entries []memEntry) (*run, error) {
 	binary.BigEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(body))
 	binary.BigEndian.PutUint32(header[4:8], uint32(len(body)))
 	off := dev.Size()
-	if _, err := dev.WriteAt(header, off); err != nil {
+	n, err := dev.WriteAt(header, off)
+	if err := fullWrite(n, len(header), err); err != nil {
 		return nil, fmt.Errorf("storage: write run header: %w", err)
 	}
-	if _, err := dev.WriteAt(body, off+8); err != nil {
+	n, err = dev.WriteAt(body, off+8)
+	if err := fullWrite(n, len(body), err); err != nil {
 		return nil, fmt.Errorf("storage: write run body: %w", err)
 	}
 	r.offset = off + 8
 	r.length = len(body)
 	return r, nil
+}
+
+// openRun rebuilds the in-RAM descriptor (sparse index, key range, count) of
+// the run stored at offset off by re-reading and re-parsing its body. It is
+// the recovery-path inverse of writeRun: the descriptor it returns is
+// identical to the one writeRun produced before the crash. Torn or corrupted
+// runs (body extending past the device, CRC mismatch, undecodable entries)
+// come back as ErrCorrupt-wrapped errors so the caller can truncate the tail.
+func openRun(dev Device, off int64) (*run, error) {
+	size := dev.Size()
+	if off+8 > size {
+		return nil, fmt.Errorf("storage: run header at %d past device end %d: %w", off, size, ErrCorrupt)
+	}
+	header := make([]byte, 8)
+	n, err := dev.ReadAt(header, off)
+	if err := fullRead(n, len(header), err); err != nil {
+		return nil, fmt.Errorf("storage: open run header: %w", err)
+	}
+	want := binary.BigEndian.Uint32(header[0:4])
+	length := int64(binary.BigEndian.Uint32(header[4:8]))
+	if length == 0 || off+8+length > size {
+		return nil, fmt.Errorf("storage: run body of %d bytes at %d exceeds device end %d: %w",
+			length, off, size, ErrCorrupt)
+	}
+	body := make([]byte, length)
+	n, err = dev.ReadAt(body, off+8)
+	if err := fullRead(n, int(length), err); err != nil {
+		return nil, fmt.Errorf("storage: open run body: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("storage: run body checksum mismatch: %w", ErrCorrupt)
+	}
+	r := &run{offset: off + 8, length: int(length)}
+	pos := 0
+	for pos < len(body) {
+		e, n, err := decodeEntry(body[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: run entry at body offset %d: %w", pos, err)
+		}
+		if r.count%sparseEvery == 0 {
+			r.indexKeys = append(r.indexKeys, e.key)
+			r.indexOffsets = append(r.indexOffsets, pos)
+		}
+		if r.count == 0 {
+			r.first = e.key
+		}
+		r.last = e.key
+		r.count++
+		pos += n
+	}
+	if r.count == 0 {
+		return nil, fmt.Errorf("storage: run with no entries: %w", ErrCorrupt)
+	}
+	return r, nil
+}
+
+// scanRuns walks the device from offset zero and rebuilds the descriptor of
+// every complete run, in write order. It stops at the first torn or corrupt
+// run — the signature a crash leaves mid-flush — and returns the byte extent
+// of the valid prefix so the caller can truncate the tail away; data past the
+// first damage is unreachable anyway because runs are parsed sequentially.
+func scanRuns(dev Device) (runs []*run, valid int64) {
+	off := int64(0)
+	for off+8 <= dev.Size() {
+		r, err := openRun(dev, off)
+		if err != nil {
+			break
+		}
+		runs = append(runs, r)
+		off = r.offset + int64(r.length)
+	}
+	return runs, off
 }
 
 // verify re-reads the run body and checks its CRC.

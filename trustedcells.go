@@ -245,6 +245,28 @@ func NewMemoryCloud() *cloud.Memory { return cloud.NewMemory() }
 // given shard count; one shard reproduces the historical single-mutex store.
 func NewMemoryCloudShards(shards int) *cloud.Memory { return cloud.NewMemoryShards(shards) }
 
+// DurableCloud is the disk-backed provider: the same Service, batch and
+// conditional-fetch contracts as the in-memory cloud, but every acknowledged
+// write is covered by a group-committed write-ahead log and survives a
+// process kill. Reopening a store replays the log, rebuilds its LSM runs and
+// resumes serving (see OpenDurableCloud and DESIGN.md §8).
+type DurableCloud = cloud.Durable
+
+// DurableCloudOptions configure a disk-backed provider; the zero value uses
+// the defaults (32 shards, fsync'd commits).
+type DurableCloudOptions = cloud.DurableOptions
+
+// DurableCloudRecovery reports what OpenDurableCloud replayed and repaired.
+type DurableCloudRecovery = cloud.DurableRecovery
+
+// OpenDurableCloud opens (creating if needed) a durable disk-backed cloud
+// service rooted at dir, recovering any existing state: crash recovery
+// replays the write-ahead logs and rebuilds run metadata, so the store
+// resumes with every previously acknowledged write intact.
+func OpenDurableCloud(dir string, opts DurableCloudOptions) (*DurableCloud, error) {
+	return cloud.OpenDurable(dir, opts)
+}
+
 // DialCloud connects to a tccloud server over TCP and returns a CloudService.
 func DialCloud(addr string) (CloudService, error) { return cloud.Dial(addr) }
 
@@ -291,7 +313,7 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e11, fig1) with
+// RunExperiment runs one of the DESIGN.md experiments (e1..e13, fig1) with
 // its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
