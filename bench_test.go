@@ -308,6 +308,40 @@ func BenchmarkE13DurableCloud(b *testing.B) {
 	}
 }
 
+// BenchmarkE15ReplicatedCloud measures experiment E15 at 10k documents:
+// batched cell ingest against a single in-memory provider vs a replicated
+// three-member fleet at W=2/R=2, plus the kill drill — one member dies
+// mid-workload, the workload keeps acknowledging, zero acknowledged writes
+// are lost, and the returning member converges through the hinted-handoff
+// drain. EXPERIMENTS.md records the reference numbers.
+func BenchmarkE15ReplicatedCloud(b *testing.B) {
+	cfg := sim.DefaultE15Config()
+	const docs = 10_000
+	var memOps, replOps, degradedX float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE15Size(cfg, docs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AckedLoss != 0 {
+			b.Fatalf("kill drill lost %d acknowledged writes", res.AckedLoss)
+		}
+		if res.ConvergedPct != 100 {
+			b.Fatalf("returning member converged %.1f%%, want 100%%", res.ConvergedPct)
+		}
+		memOps += res.MemoryOps
+		replOps += res.ReplicatedOps
+		degradedX += res.DegradedOverhead
+	}
+	n := float64(b.N)
+	b.ReportMetric(memOps/n, "memory-docs/sec")
+	b.ReportMetric(replOps/n, "replicated-docs/sec")
+	b.ReportMetric(degradedX/n, "degraded-x")
+	if replOps > 0 {
+		b.ReportMetric(memOps/replOps, "replication-overhead")
+	}
+}
+
 // BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture
 // walk-through (all flows of the paper's only figure).
 func BenchmarkFig1Walkthrough(b *testing.B) {

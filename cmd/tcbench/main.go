@@ -1,13 +1,13 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E13) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E15) plus the Figure 1 architecture walk-through.
 //
 //	tcbench -experiment all                  # run everything
 //	tcbench -experiment e4                   # one experiment
-//	tcbench -run e13                         # filter flag: just the durability study
-//	tcbench -run e9,e10,e11,e12,e13 -quick   # CI-sized configurations
-//	tcbench -run e9,e10,e11,e12,e13 -quick -json -out BENCH_E13.json
-//	tcbench -gate ci/bench_baseline.json -in BENCH_E13.json
-//	tcbench -gate ci/bench_baseline.json -in BENCH_E12.json,BENCH_E13.json
+//	tcbench -run e15                         # filter flag: just the availability drill
+//	tcbench -run e9,e10,e11,e12,e13,e15 -quick   # CI-sized configurations
+//	tcbench -run e15 -quick -json -out BENCH_E15.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E15.json
+//	tcbench -gate ci/bench_baseline.json -in BENCH_E13.json,BENCH_E15.json
 //	tcbench -experiment fig1 -out report.txt
 //
 // The -json flag emits the same tables machine-readably, including each
@@ -17,7 +17,10 @@
 // non-zero on regression — the bench-trend gate CI runs on every pull
 // request. The baseline carries two kinds of bounds: "metrics" are floors for
 // higher-is-better numbers (throughput, speedups), "ceilings" are upper
-// bounds for lower-is-better numbers (durability overhead, recovery time).
+// bounds for lower-is-better numbers (durability overhead, recovery time) —
+// each in a tolerant flavour for timing-dependent numbers and a strict,
+// no-tolerance flavour for deterministic ones (recovery percentages,
+// acknowledged-write loss, allocation counts).
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e13, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e15, fig1) or 'all'")
 		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e11' or 'e9,e10,e11'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		jsonOut    = flag.Bool("json", false, "emit JSON (tables + metrics) instead of rendered text")
@@ -160,6 +163,10 @@ type baseline struct {
 	// deterministic rather than timing-dependent (allocation counts,
 	// recovery percentages): any value below the floor fails.
 	StrictMetrics map[string]float64 `json:"strict_metrics,omitempty"`
+	// StrictCeilings are upper bounds with NO tolerance, for lower-is-better
+	// metrics that must be exact (e.g. "e15.acked_loss": 0 — the kill drill
+	// may never lose an acknowledged write).
+	StrictCeilings map[string]float64 `json:"strict_ceilings,omitempty"`
 }
 
 // loadReports reads and merges one or more -json report files (a
@@ -208,7 +215,7 @@ func runGate(gateFile, inFiles, run string, quick bool) error {
 		}
 	} else {
 		if run == "" {
-			run = "e9,e10,e11,e12,e13"
+			run = "e9,e10,e11,e12,e13,e15"
 		}
 		if tables, err = runExperiments("", run, quick); err != nil {
 			return fmt.Errorf("gate: %w", err)
@@ -227,7 +234,7 @@ func runGate(gateFile, inFiles, run string, quick bool) error {
 		limit := bound * (1 - tolerance)
 		breached := func() bool { return got < limit }
 		cmp := "<"
-		if kind == "ceiling" {
+		if strings.HasSuffix(kind, "ceiling") {
 			limit = bound * (1 + tolerance)
 			breached = func() bool { return got > limit }
 			cmp = ">"
@@ -254,7 +261,10 @@ func runGate(gateFile, inFiles, run string, quick bool) error {
 	for _, key := range sortedKeys(base.StrictMetrics) {
 		check(key, "strict floor", base.StrictMetrics[key], 0)
 	}
-	total := len(base.Metrics) + len(base.Ceilings) + len(base.StrictMetrics)
+	for _, key := range sortedKeys(base.StrictCeilings) {
+		check(key, "strict ceiling", base.StrictCeilings[key], 0)
+	}
+	total := len(base.Metrics) + len(base.Ceilings) + len(base.StrictMetrics) + len(base.StrictCeilings)
 	if failed > 0 {
 		return fmt.Errorf("bench-trend gate: %d of %d metric(s) regressed >%.0f%% against %s",
 			failed, total, base.Tolerance*100, gateFile)

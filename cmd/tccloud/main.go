@@ -14,6 +14,15 @@
 // demonstrate that cells detect integrity attacks:
 //
 //	tccloud -addr :7070 -adversary tampering -rate 0.01
+//
+// With -member the server becomes the coordinator of a replicated fleet: its
+// own store (in-memory or durable) is member 0, each -member address is
+// dialed as a further member, and clients are served the replication layer —
+// quorum writes, quorum reads with read repair, hinted handoff for members
+// that go dark, and a periodic anti-entropy pass:
+//
+//	tccloud -addr :7070 -data-dir /var/lib/tccloud \
+//	    -member host-b:7070 -member host-c:7070 -quorum-w 2 -quorum-r 2
 package main
 
 import (
@@ -25,11 +34,27 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"trustedcells/internal/cloud"
 )
 
+// memberList collects repeated -member flags.
+type memberList []string
+
+func (m *memberList) String() string { return strings.Join(*m, ",") }
+
+func (m *memberList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*m = append(*m, part)
+		}
+	}
+	return nil
+}
+
 func main() {
+	var members memberList
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "address to listen on")
 		dataDir   = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
@@ -37,7 +62,11 @@ func main() {
 		adversary = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
 		rate      = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
 		seed      = flag.Int64("seed", 1, "adversary random seed")
+		quorumW   = flag.Int("quorum-w", 0, "with -member: write quorum W (default majority of the fleet)")
+		quorumR   = flag.Int("quorum-r", 0, "with -member: read quorum R (default majority of the fleet)")
+		syncEvery = flag.Duration("sync-every", 30*time.Second, "with -member: anti-entropy interval (0 disables the background pass)")
 	)
+	flag.Var(&members, "member", "address of a further fleet member to dial (repeatable or comma-separated); the local store is member 0")
 	flag.Parse()
 
 	cfg := cloud.AdversaryConfig{Seed: *seed}
@@ -86,6 +115,41 @@ func main() {
 		svc = cloud.NewMemoryWithAdversary(cfg)
 	}
 
+	// Dial-out mode: the local store is member 0 of a replicated fleet and
+	// clients are served the replication layer instead of the bare store.
+	var replicated *cloud.Replicated
+	if len(members) > 0 {
+		if cfg.Mode != cloud.Honest {
+			fmt.Fprintln(os.Stderr, "adversary injection applies to a single store; -member requires -adversary honest")
+			os.Exit(2)
+		}
+		// Members are wrapped in a Redialer rather than dialed once: a member
+		// that restarts gets a fresh connection on its next probe, so the
+		// hint drain can bring it back (a plain Client would pin the dead
+		// connection for the life of the coordinator). A member that is not
+		// up yet is fine too — it is marked down until its first probe lands.
+		fleet := []cloud.Service{svc}
+		for _, maddr := range members {
+			client := cloud.NewRedialer(maddr)
+			defer client.Close()
+			fleet = append(fleet, client)
+		}
+		r, err := cloud.NewReplicated(fleet, cloud.ReplicatedOptions{
+			WriteQuorum: *quorumW,
+			ReadQuorum:  *quorumR,
+		})
+		if err != nil {
+			log.Fatalf("tccloud: replication: %v", err)
+		}
+		if *syncEvery > 0 {
+			r.StartAntiEntropy(*syncEvery)
+		}
+		w, rq := r.Quorums()
+		log.Printf("tccloud: replicating over %d members (local + %d dialed), W=%d R=%d, anti-entropy every %v",
+			r.MemberCount(), len(members), w, rq, *syncEvery)
+		svc, replicated = r, r
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("tccloud: listen: %v", err)
@@ -93,6 +157,9 @@ func main() {
 	backend := "memory"
 	if durable != nil {
 		backend = "durable"
+	}
+	if replicated != nil {
+		backend = "replicated/" + backend
 	}
 	log.Printf("tccloud: serving the untrusted infrastructure on %s (backend=%s adversary=%s)",
 		ln.Addr(), backend, cfg.Mode)
@@ -110,6 +177,12 @@ func main() {
 	}()
 
 	err = srv.Serve(ln)
+	if replicated != nil {
+		// Stop the anti-entropy loop and give departing writes their last
+		// hint drain before the members close under us.
+		_ = replicated.Close()
+		replicated.DrainHints()
+	}
 	if durable != nil {
 		if cerr := durable.Close(); cerr != nil {
 			log.Fatalf("tccloud: close durable store: %v", cerr)

@@ -13,6 +13,14 @@
 // concurrent cells does not serialize behind a single lock, and exposes a
 // batch API (see BatchService) that amortizes one network round-trip over
 // many blobs. DESIGN.md documents both; experiment E9 measures them.
+//
+// Beyond the single providers (Memory in RAM, Durable on disk, Client over
+// TCP), Replicated stripes the same contracts over N member backends with
+// quorum writes, read repair, hinted handoff and anti-entropy, so the fleet
+// keeps answering while providers fail (DESIGN.md §9, experiment E15); and
+// Faulty wraps any provider with deterministic fault injection — seeded
+// error rates, latency spikes, outage/flap schedules, partition masks — so
+// that failure handling is tested on demand rather than observed by luck.
 package cloud
 
 import (

@@ -1,0 +1,360 @@
+package cloud
+
+// The conformance battery: one behavioural table driving every backend the
+// package ships — RAM, disk, wire, and the replicated layer (healthy and with
+// a faulty member). A caller must not be able to tell the backends apart
+// through the Service, BatchService or ConditionalBatchService contracts.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// serviceBackends builds each backend the conformance battery runs against.
+//
+//   - durable gets a small shard count so the per-shard paths (and the
+//     META.json shard pinning) are exercised without 32 directories per test;
+//   - tcp serves a Memory over a real loopback socket;
+//   - replicated stripes a mixed fleet (RAM, disk, RAM) at W=2/R=2;
+//   - replicated-faulty additionally wraps one member in cloud.Faulty at a
+//     nonzero error rate — the battery must pass identically, because the
+//     two healthy members always satisfy both quorums.
+func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
+	return map[string]func(t *testing.T) Service{
+		"memory": func(t *testing.T) Service { return NewMemory() },
+		"durable": func(t *testing.T) Service {
+			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 4})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			t.Cleanup(func() { _ = d.Close() })
+			return d
+		},
+		"tcp": func(t *testing.T) Service {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			srv := NewServer(NewMemory())
+			go func() { _ = srv.Serve(ln) }()
+			t.Cleanup(func() { _ = srv.Close() })
+			client, err := Dial(ln.Addr().String())
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			t.Cleanup(func() { _ = client.Close() })
+			return client
+		},
+		"replicated": func(t *testing.T) Service {
+			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 2})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			t.Cleanup(func() { _ = d.Close() })
+			r, err := NewReplicated([]Service{NewMemory(), d, NewMemory()},
+				ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+			if err != nil {
+				t.Fatalf("NewReplicated: %v", err)
+			}
+			t.Cleanup(func() { _ = r.Close() })
+			return r
+		},
+		"replicated-faulty": func(t *testing.T) Service {
+			faulty := NewFaulty(NewMemory(), FaultyOptions{Seed: 42, ErrorRate: 0.15})
+			r, err := NewReplicated([]Service{NewMemory(), faulty, NewMemory()},
+				ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+			if err != nil {
+				t.Fatalf("NewReplicated: %v", err)
+			}
+			t.Cleanup(func() { _ = r.Close() })
+			return r
+		},
+	}
+}
+
+// TestServiceConformance runs the same behavioural battery over every backend:
+// the contracts of Service, BatchService and ConditionalBatchService must be
+// indistinguishable between the RAM store, the disk store, the wire client
+// and the replicated layer.
+func TestServiceConformance(t *testing.T) {
+	for name, mk := range serviceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			svc := mk(t)
+
+			// Blob lifecycle: versioning, round trip, delete idempotency.
+			v, err := svc.PutBlob("alice/vault/doc-1", []byte("ciphertext"))
+			if err != nil || v != 1 {
+				t.Fatalf("PutBlob: v=%d err=%v", v, err)
+			}
+			b, err := svc.GetBlob("alice/vault/doc-1")
+			if err != nil || !bytes.Equal(b.Data, []byte("ciphertext")) || b.Version != 1 {
+				t.Fatalf("GetBlob: %+v %v", b, err)
+			}
+			if b.Stored.IsZero() {
+				t.Fatal("Stored timestamp not set")
+			}
+			if v, _ = svc.PutBlob("alice/vault/doc-1", []byte("v2")); v != 2 {
+				t.Fatalf("second version = %d", v)
+			}
+			// Returned data must be a private copy.
+			b, _ = svc.GetBlob("alice/vault/doc-1")
+			b.Data[0] = 'X'
+			again, _ := svc.GetBlob("alice/vault/doc-1")
+			if again.Data[0] == 'X' {
+				t.Fatal("GetBlob exposes shared storage")
+			}
+			if err := svc.DeleteBlob("alice/vault/doc-1"); err != nil {
+				t.Fatalf("DeleteBlob: %v", err)
+			}
+			if _, err := svc.GetBlob("alice/vault/doc-1"); err != ErrBlobNotFound {
+				t.Fatalf("after delete: %v", err)
+			}
+			if err := svc.DeleteBlob("never-existed"); err != nil {
+				t.Fatalf("delete idempotency: %v", err)
+			}
+
+			// Listing: prefix filter, sorted output.
+			for i := 0; i < 5; i++ {
+				_, _ = svc.PutBlob(fmt.Sprintf("alice/doc-%d", i), []byte("x"))
+			}
+			_, _ = svc.PutBlob("bob/doc-0", []byte("x"))
+			names, err := svc.ListBlobs("alice/")
+			if err != nil || len(names) != 5 {
+				t.Fatalf("ListBlobs = %v, %v", names, err)
+			}
+			for i := 1; i < len(names); i++ {
+				if names[i-1] >= names[i] {
+					t.Fatal("names not sorted")
+				}
+			}
+			if all, _ := svc.ListBlobs(""); len(all) != 6 {
+				t.Fatalf("all blobs = %d", len(all))
+			}
+
+			// Mailboxes: FIFO, bounded receive, metadata fill-in.
+			for i := 0; i < 3; i++ {
+				err := svc.Send(Message{From: "alice", To: "bob", Kind: "share-offer",
+					Body: []byte(fmt.Sprintf("m%d", i))})
+				if err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}
+			msgs, err := svc.Receive("bob", 2)
+			if err != nil || len(msgs) != 2 {
+				t.Fatalf("Receive: %d %v", len(msgs), err)
+			}
+			if string(msgs[0].Body) != "m0" || string(msgs[1].Body) != "m1" {
+				t.Fatalf("wrong order: %q %q", msgs[0].Body, msgs[1].Body)
+			}
+			if msgs[0].ID == "" || msgs[0].Sent.IsZero() || msgs[0].From != "alice" || msgs[0].Kind != "share-offer" {
+				t.Fatalf("message metadata not preserved: %+v", msgs[0])
+			}
+			if msgs, _ = svc.Receive("bob", 0); len(msgs) != 1 {
+				t.Fatalf("remaining = %d", len(msgs))
+			}
+			if msgs, _ = svc.Receive("bob", 10); len(msgs) != 0 {
+				t.Fatal("mailbox should be empty")
+			}
+			if msgs, _ = svc.Receive("nobody", 10); len(msgs) != 0 {
+				t.Fatal("unknown recipient should have empty mailbox")
+			}
+
+			// Batch put/get: versions in argument order, missing names zero.
+			versions, err := PutBlobsVia(svc, []BlobPut{
+				{Name: "batch/a", Data: []byte("aa")},
+				{Name: "bob/doc-0", Data: []byte("v2")},
+				{Name: "batch/b", Data: []byte("bb")},
+			})
+			if err != nil || len(versions) != 3 || versions[0] != 1 || versions[1] != 2 || versions[2] != 1 {
+				t.Fatalf("PutBlobs versions = %v, %v", versions, err)
+			}
+			blobs, err := GetBlobsVia(svc, []string{"missing", "batch/a", "batch/b"})
+			if err != nil {
+				t.Fatalf("GetBlobs: %v", err)
+			}
+			if blobs[0].Version != 0 || string(blobs[1].Data) != "aa" || string(blobs[2].Data) != "bb" {
+				t.Fatalf("GetBlobs: %+v", blobs)
+			}
+
+			// Conditional fetch: unadvanced versions ship no data.
+			got, err := GetBlobsIfVia(svc, []CondGet{
+				{Name: "batch/a", IfNewer: 1},   // current 1: not advanced
+				{Name: "bob/doc-0", IfNewer: 1}, // current 2: advanced
+				{Name: "missing", IfNewer: 0},
+			})
+			if err != nil {
+				t.Fatalf("GetBlobsIf: %v", err)
+			}
+			if got[0].Version != 1 || got[0].Data != nil {
+				t.Fatalf("unadvanced blob should ship version only: %+v", got[0])
+			}
+			if got[1].Version != 2 || string(got[1].Data) != "v2" {
+				t.Fatalf("advanced blob should ship data: %+v", got[1])
+			}
+			if got[2].Version != 0 {
+				t.Fatalf("missing blob should be zero: %+v", got[2])
+			}
+
+			// Counters add up per blob, not per call.
+			st := svc.Stats()
+			if st.Puts < 9 || st.Sends != 3 || st.Receives < 2 {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestConformanceMailboxFIFO drives a long mailbox through interleaved sends
+// and bounded receives: every backend must deliver the exact global FIFO
+// order, never duplicating and never losing a message across receive calls.
+func TestConformanceMailboxFIFO(t *testing.T) {
+	const total = 24
+	for name, mk := range serviceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			svc := mk(t)
+			next := 0
+			send := func(n int) {
+				for i := 0; i < n; i++ {
+					if err := svc.Send(Message{From: "cell", To: "carol",
+						Body: []byte(fmt.Sprintf("m%03d", next))}); err != nil {
+						t.Fatalf("Send %d: %v", next, err)
+					}
+					next++
+				}
+			}
+			var got []Message
+			send(10)
+			for _, chunk := range []int{3, 1, 4} {
+				msgs, err := svc.Receive("carol", chunk)
+				if err != nil || len(msgs) != chunk {
+					t.Fatalf("Receive(%d): %d %v", chunk, len(msgs), err)
+				}
+				got = append(got, msgs...)
+			}
+			send(total - 10) // interleave: new sends land behind pending ones
+			for len(got) < total {
+				msgs, err := svc.Receive("carol", 5)
+				if err != nil {
+					t.Fatalf("Receive: %v", err)
+				}
+				if len(msgs) == 0 {
+					t.Fatalf("mailbox dried up at %d of %d", len(got), total)
+				}
+				got = append(got, msgs...)
+			}
+			for i, m := range got {
+				if want := fmt.Sprintf("m%03d", i); string(m.Body) != want {
+					t.Fatalf("position %d = %q, want %q", i, m.Body, want)
+				}
+			}
+			if msgs, _ := svc.Receive("carol", 10); len(msgs) != 0 {
+				t.Fatalf("mailbox should be empty, got %d", len(msgs))
+			}
+		})
+	}
+}
+
+// TestConformanceGetBlobsIfConcurrent hammers the conditional-fetch path with
+// concurrent writers: readers must only ever observe monotonically increasing
+// versions, data exactly when the version advanced past their floor, and
+// payloads that some writer actually wrote.
+func TestConformanceGetBlobsIfConcurrent(t *testing.T) {
+	const (
+		writers = 4
+		rounds  = 25
+		nNames  = 8
+	)
+	names := make([]string, nNames)
+	for i := range names {
+		names[i] = fmt.Sprintf("shared/doc-%d", i)
+	}
+	for backend, mk := range serviceBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			svc := mk(t)
+			var writersWg sync.WaitGroup
+			stop := make(chan struct{})
+			readerDone := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				writersWg.Add(1)
+				go func(w int) {
+					defer writersWg.Done()
+					for round := 0; round < rounds; round++ {
+						puts := make([]BlobPut, len(names))
+						for i, n := range names {
+							puts[i] = BlobPut{Name: n, Data: []byte(fmt.Sprintf("%s|w%d-r%d", n, w, round))}
+						}
+						if _, err := PutBlobsVia(svc, puts); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			go func() {
+				defer close(readerDone)
+				floor := make([]int, len(names))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					gets := make([]CondGet, len(names))
+					for i, n := range names {
+						gets[i] = CondGet{Name: n, IfNewer: floor[i]}
+					}
+					blobs, err := GetBlobsIfVia(svc, gets)
+					if err != nil {
+						t.Errorf("GetBlobsIf: %v", err)
+						return
+					}
+					for i, b := range blobs {
+						if b.Version == 0 {
+							continue // not yet written
+						}
+						// Quorum backends may answer a later read from a
+						// different member subset, so versions are not
+						// monotonic across calls — but the data-shipping
+						// rule must hold against whatever floor we sent.
+						if b.Version <= gets[i].IfNewer && b.Data != nil {
+							t.Errorf("%s: unadvanced version %d shipped data", names[i], b.Version)
+							return
+						}
+						if b.Version > gets[i].IfNewer {
+							if b.Data == nil {
+								t.Errorf("%s: advanced version %d shipped no data", names[i], b.Version)
+								return
+							}
+							if !bytes.HasPrefix(b.Data, []byte(names[i]+"|")) {
+								t.Errorf("%s: foreign payload %q", names[i], b.Data)
+								return
+							}
+						}
+						if b.Version > floor[i] {
+							floor[i] = b.Version
+						}
+					}
+				}
+			}()
+			// Let the reader race the writers, then stop it once writes finish.
+			writersWg.Wait()
+			close(stop)
+			<-readerDone
+
+			// Quiesced: every name must sit at its final version with matching
+			// payload visible through the plain batch read as well.
+			blobs, err := GetBlobsVia(svc, names)
+			if err != nil {
+				t.Fatalf("final GetBlobs: %v", err)
+			}
+			for i, b := range blobs {
+				if b.Version == 0 || !bytes.HasPrefix(b.Data, []byte(names[i]+"|")) {
+					t.Fatalf("final state of %s: %+v", names[i], b)
+				}
+			}
+		})
+	}
+}

@@ -8,153 +8,9 @@ import (
 	"time"
 )
 
-// serviceUnderTest builds each backend the conformance battery runs against.
-// Durable gets a small shard count so the per-shard paths (and the META.json
-// shard pinning) are exercised without 32 directories per test.
-func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
-	return map[string]func(t *testing.T) Service{
-		"memory": func(t *testing.T) Service { return NewMemory() },
-		"durable": func(t *testing.T) Service {
-			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 4})
-			if err != nil {
-				t.Fatalf("OpenDurable: %v", err)
-			}
-			t.Cleanup(func() { _ = d.Close() })
-			return d
-		},
-	}
-}
-
-// TestServiceConformance runs the same behavioural battery over every backend:
-// the contracts of Service, BatchService and ConditionalBatchService must be
-// indistinguishable between the RAM store and the disk store.
-func TestServiceConformance(t *testing.T) {
-	for name, mk := range serviceBackends(t) {
-		t.Run(name, func(t *testing.T) {
-			svc := mk(t)
-
-			// Blob lifecycle: versioning, round trip, delete idempotency.
-			v, err := svc.PutBlob("alice/vault/doc-1", []byte("ciphertext"))
-			if err != nil || v != 1 {
-				t.Fatalf("PutBlob: v=%d err=%v", v, err)
-			}
-			b, err := svc.GetBlob("alice/vault/doc-1")
-			if err != nil || !bytes.Equal(b.Data, []byte("ciphertext")) || b.Version != 1 {
-				t.Fatalf("GetBlob: %+v %v", b, err)
-			}
-			if b.Stored.IsZero() {
-				t.Fatal("Stored timestamp not set")
-			}
-			if v, _ = svc.PutBlob("alice/vault/doc-1", []byte("v2")); v != 2 {
-				t.Fatalf("second version = %d", v)
-			}
-			// Returned data must be a private copy.
-			b, _ = svc.GetBlob("alice/vault/doc-1")
-			b.Data[0] = 'X'
-			again, _ := svc.GetBlob("alice/vault/doc-1")
-			if again.Data[0] == 'X' {
-				t.Fatal("GetBlob exposes shared storage")
-			}
-			if err := svc.DeleteBlob("alice/vault/doc-1"); err != nil {
-				t.Fatalf("DeleteBlob: %v", err)
-			}
-			if _, err := svc.GetBlob("alice/vault/doc-1"); err != ErrBlobNotFound {
-				t.Fatalf("after delete: %v", err)
-			}
-			if err := svc.DeleteBlob("never-existed"); err != nil {
-				t.Fatalf("delete idempotency: %v", err)
-			}
-
-			// Listing: prefix filter, sorted output.
-			for i := 0; i < 5; i++ {
-				_, _ = svc.PutBlob(fmt.Sprintf("alice/doc-%d", i), []byte("x"))
-			}
-			_, _ = svc.PutBlob("bob/doc-0", []byte("x"))
-			names, err := svc.ListBlobs("alice/")
-			if err != nil || len(names) != 5 {
-				t.Fatalf("ListBlobs = %v, %v", names, err)
-			}
-			for i := 1; i < len(names); i++ {
-				if names[i-1] >= names[i] {
-					t.Fatal("names not sorted")
-				}
-			}
-			if all, _ := svc.ListBlobs(""); len(all) != 6 {
-				t.Fatalf("all blobs = %d", len(all))
-			}
-
-			// Mailboxes: FIFO, bounded receive, metadata fill-in.
-			for i := 0; i < 3; i++ {
-				err := svc.Send(Message{From: "alice", To: "bob", Kind: "share-offer",
-					Body: []byte(fmt.Sprintf("m%d", i))})
-				if err != nil {
-					t.Fatalf("Send: %v", err)
-				}
-			}
-			msgs, err := svc.Receive("bob", 2)
-			if err != nil || len(msgs) != 2 {
-				t.Fatalf("Receive: %d %v", len(msgs), err)
-			}
-			if string(msgs[0].Body) != "m0" || string(msgs[1].Body) != "m1" {
-				t.Fatalf("wrong order: %q %q", msgs[0].Body, msgs[1].Body)
-			}
-			if msgs[0].ID == "" || msgs[0].Sent.IsZero() || msgs[0].From != "alice" || msgs[0].Kind != "share-offer" {
-				t.Fatalf("message metadata not preserved: %+v", msgs[0])
-			}
-			if msgs, _ = svc.Receive("bob", 0); len(msgs) != 1 {
-				t.Fatalf("remaining = %d", len(msgs))
-			}
-			if msgs, _ = svc.Receive("bob", 10); len(msgs) != 0 {
-				t.Fatal("mailbox should be empty")
-			}
-			if msgs, _ = svc.Receive("nobody", 10); len(msgs) != 0 {
-				t.Fatal("unknown recipient should have empty mailbox")
-			}
-
-			// Batch put/get: versions in argument order, missing names zero.
-			versions, err := PutBlobsVia(svc, []BlobPut{
-				{Name: "batch/a", Data: []byte("aa")},
-				{Name: "bob/doc-0", Data: []byte("v2")},
-				{Name: "batch/b", Data: []byte("bb")},
-			})
-			if err != nil || len(versions) != 3 || versions[0] != 1 || versions[1] != 2 || versions[2] != 1 {
-				t.Fatalf("PutBlobs versions = %v, %v", versions, err)
-			}
-			blobs, err := GetBlobsVia(svc, []string{"missing", "batch/a", "batch/b"})
-			if err != nil {
-				t.Fatalf("GetBlobs: %v", err)
-			}
-			if blobs[0].Version != 0 || string(blobs[1].Data) != "aa" || string(blobs[2].Data) != "bb" {
-				t.Fatalf("GetBlobs: %+v", blobs)
-			}
-
-			// Conditional fetch: unadvanced versions ship no data.
-			got, err := GetBlobsIfVia(svc, []CondGet{
-				{Name: "batch/a", IfNewer: 1},   // current 1: not advanced
-				{Name: "bob/doc-0", IfNewer: 1}, // current 2: advanced
-				{Name: "missing", IfNewer: 0},
-			})
-			if err != nil {
-				t.Fatalf("GetBlobsIf: %v", err)
-			}
-			if got[0].Version != 1 || got[0].Data != nil {
-				t.Fatalf("unadvanced blob should ship version only: %+v", got[0])
-			}
-			if got[1].Version != 2 || string(got[1].Data) != "v2" {
-				t.Fatalf("advanced blob should ship data: %+v", got[1])
-			}
-			if got[2].Version != 0 {
-				t.Fatalf("missing blob should be zero: %+v", got[2])
-			}
-
-			// Counters add up per blob, not per call.
-			st := svc.Stats()
-			if st.Puts < 9 || st.Sends != 3 || st.Receives < 2 {
-				t.Fatalf("stats %+v", st)
-			}
-		})
-	}
-}
+// The cross-backend conformance battery that used to open this file moved to
+// conformance_test.go, where one table now drives memory, durable, tcp and
+// replicated alike. This file keeps the Durable-specific machinery tests.
 
 // TestDurableConcurrentStress is the disk-backed twin of the sharded memory
 // stress test: every operation hammered from many goroutines, run under

@@ -1,0 +1,278 @@
+package cloud
+
+// This file implements cloud.Faulty, a fault-injection wrapper around any
+// Service. The replicated provider (see replicated.go) exists to survive
+// member failures; Faulty exists so those failures can be produced on demand
+// and *deterministically* — a seeded error rate, an op-counter-driven flap
+// schedule, a full-outage switch and a partition mask — instead of being
+// observed by luck. Every experiment and test that drills availability
+// (E15, the quorum edge-case tables, the conformance battery's degraded
+// variant) builds its failure scenario out of this wrapper.
+//
+// Determinism: random decisions come from a seeded generator behind a mutex,
+// and the flap schedule is driven by an atomic operation counter, not by wall
+// clock. A single-goroutine workload therefore sees exactly the same fault
+// sequence on every run; concurrent workloads see the same fault *density*.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned for faults drawn from the seeded
+// error-rate generator, so tests can tell injected failures from organic ones.
+var ErrInjected = errors.New("cloud: injected fault")
+
+// OpClass partitions the Service surface for the partition mask: a masked
+// class fails with ErrUnavailable as if a network partition separated the
+// caller from that capability.
+type OpClass int
+
+// Operation classes of the partition mask. Combine with bitwise or.
+const (
+	// MaskWrites covers PutBlob, PutBlobs and DeleteBlob.
+	MaskWrites OpClass = 1 << iota
+	// MaskReads covers GetBlob, GetBlobs, GetBlobsIf and ListBlobs.
+	MaskReads
+	// MaskMail covers Send and Receive.
+	MaskMail
+)
+
+// FaultyOptions parameterise the injected misbehaviour. The zero value
+// injects nothing: a Faulty built from it is a transparent pass-through until
+// SetDown / SetFlap / SetMask flip it at runtime.
+type FaultyOptions struct {
+	// Seed makes the error-rate draws deterministic.
+	Seed int64
+	// ErrorRate is the per-operation probability of failing with ErrInjected
+	// before the inner service is consulted.
+	ErrorRate float64
+	// Latency is added to every operation (one sleep per call, batch calls
+	// included — the same economics as Memory.SetLatency).
+	Latency time.Duration
+	// SpikeRate is the per-operation probability of a latency spike of
+	// SpikeLatency on top of Latency.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+}
+
+// FaultStats counts what the wrapper injected, so tests can assert the fault
+// schedule actually fired (and at the expected rate).
+type FaultStats struct {
+	Ops           int64 // operations that entered the wrapper
+	Injected      int64 // failures from the seeded error rate
+	OutageRejects int64 // failures while SetDown(true) was in effect
+	FlapRejects   int64 // failures from the flap schedule
+	MaskRejects   int64 // failures from the partition mask
+	LatencySpikes int64 // operations that paid SpikeLatency
+	PassedThrough int64 // operations forwarded to the inner service
+}
+
+// Faulty wraps a Service (and its batch extensions) with deterministic fault
+// injection. All methods are safe for concurrent use.
+type Faulty struct {
+	inner Service
+	opts  FaultyOptions
+
+	ops  atomic.Int64
+	down atomic.Bool
+	mask atomic.Int32
+	// flap packs the schedule as period<<32|downFor; zero disables it.
+	flap atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	injected      atomic.Int64
+	outageRejects atomic.Int64
+	flapRejects   atomic.Int64
+	maskRejects   atomic.Int64
+	spikes        atomic.Int64
+	passed        atomic.Int64
+}
+
+// NewFaulty wraps inner with the given fault schedule.
+func NewFaulty(inner Service, opts FaultyOptions) *Faulty {
+	return &Faulty{
+		inner: inner,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Inner returns the wrapped service (tests inspect member state through it).
+func (f *Faulty) Inner() Service { return f.inner }
+
+// SetDown switches the full outage on or off: while down, every operation
+// fails with ErrUnavailable without reaching the inner service. This is the
+// "kill -9 the provider" switch of the availability drills.
+func (f *Faulty) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports whether the full outage is in effect.
+func (f *Faulty) Down() bool { return f.down.Load() }
+
+// SetFlap installs an op-counter-driven flap schedule: within every window of
+// period operations, the first downFor fail with ErrUnavailable. period <= 0
+// disables flapping. The schedule is deterministic in the operation count, so
+// a sequential workload always hits the same ops.
+func (f *Faulty) SetFlap(period, downFor int) {
+	if period <= 0 || downFor <= 0 {
+		f.flap.Store(0)
+		return
+	}
+	if downFor > period {
+		downFor = period
+	}
+	f.flap.Store(uint64(period)<<32 | uint64(downFor))
+}
+
+// SetMask installs a partition mask: operations in the masked classes fail
+// with ErrUnavailable. Zero clears the mask.
+func (f *Faulty) SetMask(mask OpClass) { f.mask.Store(int32(mask)) }
+
+// FaultStats returns a snapshot of the injection counters.
+func (f *Faulty) FaultStats() FaultStats {
+	return FaultStats{
+		Ops:           f.ops.Load(),
+		Injected:      f.injected.Load(),
+		OutageRejects: f.outageRejects.Load(),
+		FlapRejects:   f.flapRejects.Load(),
+		MaskRejects:   f.maskRejects.Load(),
+		LatencySpikes: f.spikes.Load(),
+		PassedThrough: f.passed.Load(),
+	}
+}
+
+// chance draws a seeded coin.
+func (f *Faulty) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.rngMu.Lock()
+	ok := f.rng.Float64() < p
+	f.rngMu.Unlock()
+	return ok
+}
+
+// checkIn runs the fault schedule for one operation of the given class. The
+// order is fixed — latency, outage, flap, mask, error rate — so schedules
+// compose predictably.
+func (f *Faulty) checkIn(class OpClass) error {
+	n := f.ops.Add(1)
+	if f.opts.Latency > 0 {
+		time.Sleep(f.opts.Latency)
+	}
+	if f.opts.SpikeLatency > 0 && f.chance(f.opts.SpikeRate) {
+		f.spikes.Add(1)
+		time.Sleep(f.opts.SpikeLatency)
+	}
+	if f.down.Load() {
+		f.outageRejects.Add(1)
+		return ErrUnavailable
+	}
+	if packed := f.flap.Load(); packed != 0 {
+		period, downFor := int64(packed>>32), int64(packed&0xFFFFFFFF)
+		if (n-1)%period < downFor {
+			f.flapRejects.Add(1)
+			return ErrUnavailable
+		}
+	}
+	if OpClass(f.mask.Load())&class != 0 {
+		f.maskRejects.Add(1)
+		return ErrUnavailable
+	}
+	if f.chance(f.opts.ErrorRate) {
+		f.injected.Add(1)
+		return ErrInjected
+	}
+	f.passed.Add(1)
+	return nil
+}
+
+// PutBlob implements Service.
+func (f *Faulty) PutBlob(name string, data []byte) (int, error) {
+	if err := f.checkIn(MaskWrites); err != nil {
+		return 0, err
+	}
+	return f.inner.PutBlob(name, data)
+}
+
+// GetBlob implements Service.
+func (f *Faulty) GetBlob(name string) (Blob, error) {
+	if err := f.checkIn(MaskReads); err != nil {
+		return Blob{}, err
+	}
+	return f.inner.GetBlob(name)
+}
+
+// DeleteBlob implements Service.
+func (f *Faulty) DeleteBlob(name string) error {
+	if err := f.checkIn(MaskWrites); err != nil {
+		return err
+	}
+	return f.inner.DeleteBlob(name)
+}
+
+// ListBlobs implements Service.
+func (f *Faulty) ListBlobs(prefix string) ([]string, error) {
+	if err := f.checkIn(MaskReads); err != nil {
+		return nil, err
+	}
+	return f.inner.ListBlobs(prefix)
+}
+
+// Send implements Service.
+func (f *Faulty) Send(msg Message) error {
+	if err := f.checkIn(MaskMail); err != nil {
+		return err
+	}
+	return f.inner.Send(msg)
+}
+
+// Receive implements Service.
+func (f *Faulty) Receive(recipient string, max int) ([]Message, error) {
+	if err := f.checkIn(MaskMail); err != nil {
+		return nil, err
+	}
+	return f.inner.Receive(recipient, max)
+}
+
+// Stats implements Service by delegating to the inner service; FaultStats
+// holds the wrapper's own counters.
+func (f *Faulty) Stats() Stats { return f.inner.Stats() }
+
+// PutBlobs implements BatchService: the whole batch is one fault decision,
+// matching the one-round-trip economics the batch API models.
+func (f *Faulty) PutBlobs(puts []BlobPut) ([]int, error) {
+	if err := f.checkIn(MaskWrites); err != nil {
+		return nil, err
+	}
+	return PutBlobsVia(f.inner, puts)
+}
+
+// GetBlobs implements BatchService with one fault decision per batch.
+func (f *Faulty) GetBlobs(names []string) ([]Blob, error) {
+	if err := f.checkIn(MaskReads); err != nil {
+		return nil, err
+	}
+	return GetBlobsVia(f.inner, names)
+}
+
+// GetBlobsIf implements ConditionalBatchService with one fault decision per
+// batch.
+func (f *Faulty) GetBlobsIf(gets []CondGet) ([]Blob, error) {
+	if err := f.checkIn(MaskReads); err != nil {
+		return nil, err
+	}
+	return GetBlobsIfVia(f.inner, gets)
+}
+
+// interface conformance
+var (
+	_ Service                 = (*Faulty)(nil)
+	_ BatchService            = (*Faulty)(nil)
+	_ ConditionalBatchService = (*Faulty)(nil)
+)

@@ -1,0 +1,191 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFaultyDeterministicSchedule proves the same seed yields the same fault
+// sequence: two wrappers over identical workloads must fail exactly the same
+// operations.
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	run := func() []bool {
+		f := NewFaulty(NewMemory(), FaultyOptions{Seed: 7, ErrorRate: 0.3})
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			_, err := f.PutBlob(fmt.Sprintf("doc-%03d", i), []byte("x"))
+			outcomes[i] = err == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged between identical seeded runs", i)
+		}
+	}
+	// A different seed must produce a different schedule (with 200 draws at
+	// 30% the chance of coincidence is negligible).
+	f := NewFaulty(NewMemory(), FaultyOptions{Seed: 8, ErrorRate: 0.3})
+	diverged := false
+	for i := range a {
+		_, err := f.PutBlob(fmt.Sprintf("doc-%03d", i), []byte("x"))
+		if (err == nil) != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestFaultyErrorRateAccounting checks the injection counters add up: every
+// operation is either injected, rejected by a schedule, or passed through,
+// and the injected fraction lands near the configured rate.
+func TestFaultyErrorRateAccounting(t *testing.T) {
+	const ops = 2000
+	f := NewFaulty(NewMemory(), FaultyOptions{Seed: 1, ErrorRate: 0.25})
+	for i := 0; i < ops; i++ {
+		_, err := f.GetBlob("missing")
+		if err != nil && err != ErrInjected && err != ErrBlobNotFound {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	st := f.FaultStats()
+	if st.Ops != ops {
+		t.Fatalf("Ops = %d, want %d", st.Ops, ops)
+	}
+	if st.Injected+st.PassedThrough != ops {
+		t.Fatalf("counters leak: injected %d + passed %d != %d", st.Injected, st.PassedThrough, ops)
+	}
+	rate := float64(st.Injected) / ops
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("injected rate %.3f too far from 0.25", rate)
+	}
+}
+
+// TestFaultyOutageAndMask exercises the runtime switches: a full outage
+// rejects everything, a partition mask rejects exactly its classes, and both
+// clear cleanly.
+func TestFaultyOutageAndMask(t *testing.T) {
+	f := NewFaulty(NewMemory(), FaultyOptions{})
+	if _, err := f.PutBlob("a", []byte("1")); err != nil {
+		t.Fatalf("healthy put: %v", err)
+	}
+
+	f.SetDown(true)
+	if !f.Down() {
+		t.Fatal("Down() should report the outage")
+	}
+	if _, err := f.PutBlob("b", []byte("2")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("outage put: %v", err)
+	}
+	if _, err := f.GetBlob("a"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("outage get: %v", err)
+	}
+	f.SetDown(false)
+	if _, err := f.GetBlob("a"); err != nil {
+		t.Fatalf("recovered get: %v", err)
+	}
+
+	// Mask writes: reads keep flowing, writes and batches fail.
+	f.SetMask(MaskWrites)
+	if _, err := f.PutBlob("c", []byte("3")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("masked put: %v", err)
+	}
+	if _, err := f.PutBlobs([]BlobPut{{Name: "c", Data: []byte("3")}}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("masked batch put: %v", err)
+	}
+	if _, err := f.GetBlob("a"); err != nil {
+		t.Fatalf("read through write mask: %v", err)
+	}
+	if err := f.Send(Message{To: "bob"}); err != nil {
+		t.Fatalf("mail through write mask: %v", err)
+	}
+	// Widen to mail as well.
+	f.SetMask(MaskWrites | MaskMail)
+	if err := f.Send(Message{To: "bob"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("masked send: %v", err)
+	}
+	f.SetMask(0)
+	if _, err := f.PutBlob("c", []byte("3")); err != nil {
+		t.Fatalf("cleared mask: %v", err)
+	}
+
+	st := f.FaultStats()
+	if st.OutageRejects != 2 || st.MaskRejects != 3 {
+		t.Fatalf("reject accounting: %+v", st)
+	}
+}
+
+// TestFaultyFlapSchedule verifies the op-counter-driven flap: within every
+// window of period operations the first downFor fail, deterministically.
+func TestFaultyFlapSchedule(t *testing.T) {
+	f := NewFaulty(NewMemory(), FaultyOptions{})
+	f.SetFlap(10, 3)
+	for i := 0; i < 40; i++ {
+		_, err := f.GetBlob("missing")
+		wantDown := i%10 < 3
+		if wantDown && !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("op %d should be down, got %v", i, err)
+		}
+		if !wantDown && errors.Is(err, ErrUnavailable) {
+			t.Fatalf("op %d should be up", i)
+		}
+	}
+	if st := f.FaultStats(); st.FlapRejects != 12 {
+		t.Fatalf("flap rejects = %d, want 12", st.FlapRejects)
+	}
+	f.SetFlap(0, 0)
+	if _, err := f.GetBlob("missing"); errors.Is(err, ErrUnavailable) {
+		t.Fatal("cleared flap still rejecting")
+	}
+}
+
+// TestFaultyFlapRaceStress hammers a flapping wrapper from many goroutines
+// doing batched puts — run under -race in the CI availability job. The
+// assertion is bookkeeping integrity, not a specific schedule: every
+// operation must be accounted to exactly one outcome.
+func TestFaultyFlapRaceStress(t *testing.T) {
+	f := NewFaulty(NewMemory(), FaultyOptions{Seed: 99, ErrorRate: 0.05})
+	f.SetFlap(7, 2)
+	const (
+		workers = 8
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				puts := []BlobPut{
+					{Name: fmt.Sprintf("w%d/doc-%03d", w, i), Data: []byte("x")},
+					{Name: fmt.Sprintf("w%d/side-%03d", w, i), Data: []byte("y")},
+				}
+				_, err := f.PutBlobs(puts)
+				if err != nil && err != ErrInjected && !errors.Is(err, ErrUnavailable) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				if i%5 == 0 {
+					f.SetDown(i%10 == 0) // flip the outage under load
+				}
+				_, _ = f.GetBlobs([]string{fmt.Sprintf("w%d/doc-%03d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.SetDown(false)
+	st := f.FaultStats()
+	want := st.Injected + st.OutageRejects + st.FlapRejects + st.MaskRejects + st.PassedThrough
+	if st.Ops != want {
+		t.Fatalf("ops %d != accounted %d (%+v)", st.Ops, want, st)
+	}
+	if st.FlapRejects == 0 || st.PassedThrough == 0 {
+		t.Fatalf("stress never exercised both paths: %+v", st)
+	}
+}

@@ -1,0 +1,189 @@
+package cloud
+
+import (
+	"strings"
+	"sync"
+)
+
+// Redialer is a Service over a remote server that re-dials its address when
+// the underlying connection dies. A plain Client is pinned to one TCP
+// connection, so a fleet member that restarts would stay unreachable for the
+// life of the coordinator; wrapped in a Redialer, the member's next probe
+// after it comes back up establishes a fresh connection and the hinted
+// handoff drain can bring it current (DESIGN.md §9.3). Remote semantic
+// errors (ErrBlobNotFound, ErrMailboxEmpty, ErrUnavailable, quorum errors)
+// pass through without touching the connection; only transport failures —
+// dial, send, receive — discard it.
+type Redialer struct {
+	addr string
+
+	mu     sync.Mutex
+	client *Client
+}
+
+// NewRedialer returns a Redialer for addr. No connection is established
+// until the first call, so a Redialer can be created for a member that is
+// not up yet.
+func NewRedialer(addr string) *Redialer {
+	return &Redialer{addr: addr}
+}
+
+// Addr returns the address the Redialer (re-)dials.
+func (r *Redialer) Addr() string { return r.addr }
+
+// Close closes the current connection, if any. The next call re-dials.
+func (r *Redialer) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		return nil
+	}
+	err := r.client.Close()
+	r.client = nil
+	return err
+}
+
+// get returns the current client, dialing if necessary.
+func (r *Redialer) get() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		c, err := Dial(r.addr)
+		if err != nil {
+			return nil, err
+		}
+		r.client = c
+	}
+	return r.client, nil
+}
+
+// transportError reports whether err means the connection itself is broken
+// (as opposed to a semantic error relayed from the remote store).
+func transportError(err error) bool {
+	if err == nil || err == ErrBlobNotFound || err == ErrMailboxEmpty || err == ErrUnavailable {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "cloud: dial") ||
+		strings.Contains(msg, "cloud: rpc")
+}
+
+// drop discards the connection so the next call re-dials, but only if it is
+// still the one that failed (a concurrent caller may have re-dialed already).
+func (r *Redialer) drop(c *Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == c {
+		_ = c.Close()
+		r.client = nil
+	}
+}
+
+// do runs fn against the current connection, discarding it on a transport
+// failure so the next call starts fresh. The failed call itself is not
+// retried: the caller is the replication layer, which already treats a
+// member error as "hint and move on" — retrying here would double-apply
+// operations whose response was lost in flight.
+func (r *Redialer) do(fn func(c *Client) error) error {
+	c, err := r.get()
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if transportError(err) {
+		r.drop(c)
+	}
+	return err
+}
+
+// PutBlob implements Service.
+func (r *Redialer) PutBlob(name string, data []byte) (version int, err error) {
+	err = r.do(func(c *Client) error {
+		version, err = c.PutBlob(name, data)
+		return err
+	})
+	return version, err
+}
+
+// GetBlob implements Service.
+func (r *Redialer) GetBlob(name string) (blob Blob, err error) {
+	err = r.do(func(c *Client) error {
+		blob, err = c.GetBlob(name)
+		return err
+	})
+	return blob, err
+}
+
+// DeleteBlob implements Service.
+func (r *Redialer) DeleteBlob(name string) error {
+	return r.do(func(c *Client) error { return c.DeleteBlob(name) })
+}
+
+// ListBlobs implements Service.
+func (r *Redialer) ListBlobs(prefix string) (names []string, err error) {
+	err = r.do(func(c *Client) error {
+		names, err = c.ListBlobs(prefix)
+		return err
+	})
+	return names, err
+}
+
+// Send implements Service.
+func (r *Redialer) Send(msg Message) error {
+	return r.do(func(c *Client) error { return c.Send(msg) })
+}
+
+// Receive implements Service.
+func (r *Redialer) Receive(recipient string, max int) (msgs []Message, err error) {
+	err = r.do(func(c *Client) error {
+		msgs, err = c.Receive(recipient, max)
+		return err
+	})
+	return msgs, err
+}
+
+// Stats implements Service.
+func (r *Redialer) Stats() Stats {
+	c, err := r.get()
+	if err != nil {
+		return Stats{}
+	}
+	return c.Stats()
+}
+
+// PutBlobs implements BatchService.
+func (r *Redialer) PutBlobs(puts []BlobPut) (versions []int, err error) {
+	err = r.do(func(c *Client) error {
+		versions, err = c.PutBlobs(puts)
+		return err
+	})
+	return versions, err
+}
+
+// GetBlobs implements BatchService.
+func (r *Redialer) GetBlobs(names []string) (blobs []Blob, err error) {
+	err = r.do(func(c *Client) error {
+		blobs, err = c.GetBlobs(names)
+		return err
+	})
+	return blobs, err
+}
+
+// GetBlobsIf implements ConditionalBatchService.
+func (r *Redialer) GetBlobsIf(gets []CondGet) (blobs []Blob, err error) {
+	err = r.do(func(c *Client) error {
+		blobs, err = c.GetBlobsIf(gets)
+		return err
+	})
+	return blobs, err
+}
+
+// String names the wrapper for logs.
+func (r *Redialer) String() string { return "redial(" + r.addr + ")" }
+
+// interface conformance
+var (
+	_ Service                 = (*Redialer)(nil)
+	_ BatchService            = (*Redialer)(nil)
+	_ ConditionalBatchService = (*Redialer)(nil)
+)

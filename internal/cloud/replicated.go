@@ -1,0 +1,1303 @@
+package cloud
+
+// This file implements cloud.Replicated, the client-side replication layer
+// that turns N independent providers — any mix of Memory, Durable and remote
+// TCP clients — into one Service that keeps answering while members fail.
+// E13 proved one durable provider recovers fast; Replicated is the next step
+// of the availability story: the fleet never stops, because no single
+// provider is load-bearing.
+//
+// Protocol (DESIGN.md §9):
+//
+//   - Quorum writes: every write fans out to all live members and is
+//     acknowledged once W members accepted it. The returned version is the
+//     maximum version the acknowledging members assigned.
+//   - Quorum reads: a read needs R member responses ("blob not found" counts
+//     as a response at version 0); the winner is the response with the
+//     maximum version. With W+R > N every acknowledged write intersects
+//     every quorum read, so acknowledged data is always readable.
+//   - Read repair: members that answered a read with a stale version (or
+//     conflicting bytes at the winning version) are rewritten with the
+//     winning blob until their version catches up to the winner's.
+//   - Hinted handoff: a write that a member misses — it is down, or its call
+//     failed — is queued as a hint in a bounded per-member FIFO and replayed
+//     in order when the member returns. The queue drops its oldest hint on
+//     overflow (counted); anti-entropy repairs whatever overflow loses.
+//   - Anti-entropy: a periodic pass drains hint queues, then walks the union
+//     of blob names grouped by the same package-level FNV sharding that
+//     stripes Memory and Durable (shardIndexOf / groupKeysByShard), compares
+//     members shard by shard, and rewrites stale copies.
+//
+// Membership and health: a member that fails FailThreshold consecutive calls
+// is marked down; while down it receives hints instead of calls. Every
+// ProbeEvery-th operation retries a down member by draining its hints; the
+// member is marked up only once its hint queue is empty, so recovered members
+// observe the missed writes in their original order before new writes reach
+// them directly.
+//
+// Mailboxes replicate too: Send assigns a layer-wide monotonic message ID and
+// timestamp, then fans out under the same W-of-N rule; Receive drains every
+// live member, deduplicates by message ID (popped messages are remembered in
+// a bounded window), orders by (Sent, ID) and serves from a local pending
+// queue — FIFO order survives any tolerated minority of member failures.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replication errors.
+var (
+	// ErrQuorumFailed means fewer than W members acknowledged a write (or
+	// fewer than R answered a read). The operation may have partially applied
+	// on some members; anti-entropy reconciles them.
+	ErrQuorumFailed = errors.New("cloud: quorum not reached")
+)
+
+// ReplicatedOptions configure the replication layer. The zero value derives
+// majority quorums from the member count.
+type ReplicatedOptions struct {
+	// WriteQuorum (W) is the number of member acknowledgements required
+	// before a write succeeds. Defaults to a majority (N/2+1). Must be in
+	// [1, N].
+	WriteQuorum int
+	// ReadQuorum (R) is the number of member responses required before a
+	// read succeeds. Defaults to a majority (N/2+1). Must be in [1, N].
+	// Choose W+R > N for read-your-writes.
+	ReadQuorum int
+	// HintCapacity bounds each member's hinted-handoff queue. On overflow
+	// the oldest hint is dropped (and counted); anti-entropy repairs the
+	// loss. Defaults to 1024.
+	HintCapacity int
+	// FailThreshold is the number of consecutive call failures after which a
+	// member is marked down and bypassed (writes turn into hints). Defaults
+	// to 3.
+	FailThreshold int
+	// ProbeEvery is the number of layer operations between recovery probes
+	// of a down member. Defaults to 16.
+	ProbeEvery int
+	// SyncShards is the FNV shard count of the anti-entropy pass. Defaults
+	// to 16.
+	SyncShards int
+}
+
+func (o ReplicatedOptions) withDefaults(n int) ReplicatedOptions {
+	if o.WriteQuorum == 0 {
+		o.WriteQuorum = n/2 + 1
+	}
+	if o.ReadQuorum == 0 {
+		o.ReadQuorum = n/2 + 1
+	}
+	if o.HintCapacity == 0 {
+		o.HintCapacity = 1024
+	}
+	if o.FailThreshold == 0 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeEvery == 0 {
+		o.ProbeEvery = 16
+	}
+	if o.SyncShards == 0 {
+		o.SyncShards = 16
+	}
+	return o
+}
+
+// hintKind is the operation class of one queued hint.
+type hintKind int
+
+const (
+	hintPut hintKind = iota
+	hintDelete
+	hintSend
+)
+
+// hint is one write a member missed, queued for replay on its recovery.
+type hint struct {
+	kind hintKind
+	name string
+	data []byte // private copy: the caller's buffer is recycled after the put
+	msg  Message
+}
+
+// member is one replicated backend with its health state and hint queue.
+type member struct {
+	// svcMu guards svc so SwapMember can replace a backend (e.g. a durable
+	// member reopened after a process restart) without racing in-flight ops.
+	svcMu sync.RWMutex
+	svc   Service
+
+	// mu guards the health state and the hint queue together: a member is
+	// marked up only under an empty queue, so drained hints and new direct
+	// writes can never reorder.
+	mu          sync.Mutex
+	down        bool
+	consecFails int
+	hints       []hint
+	dropped     int64 // hints lost to queue overflow
+	drained     int64 // hints successfully replayed
+}
+
+// ReplicationStats counts the layer's own activity (the logical operations a
+// caller performed, plus the repair machinery's work). Member services keep
+// their own Stats.
+type ReplicationStats struct {
+	// Service counters, mirroring Stats semantics: per blob for puts/gets,
+	// per call for lists/receives.
+	Puts, Gets, Deletes, Lists int64
+	Sends, Receives            int64
+
+	QuorumFailures int64 // operations that could not reach quorum
+	HintsQueued    int64 // writes queued for an unreachable member
+	HintsDropped   int64 // hints lost to queue overflow (all members)
+	HintsDrained   int64 // hints replayed to recovered members
+	ReadRepairs    int64 // stale member copies rewritten during reads
+	MembersDown    int64 // members currently marked down
+}
+
+// RepairReport summarises one anti-entropy pass.
+type RepairReport struct {
+	HintsDrained int   // hints replayed before the scan
+	Shards       int   // FNV shard groups scanned
+	Names        int   // distinct blob names compared
+	StalePuts    int   // stale member copies rewritten
+	BytesMoved   int64 // payload bytes rewritten to stale members
+}
+
+// Replicated stripes the full Service, BatchService and
+// ConditionalBatchService contracts over N member backends with quorum
+// writes, quorum reads, read repair, hinted handoff and anti-entropy. All
+// methods are safe for concurrent use.
+type Replicated struct {
+	members []*member
+	opts    ReplicatedOptions
+
+	ops     atomic.Int64 // operation counter driving recovery probes
+	nextMsg atomic.Uint64
+
+	// nameMu stripes serialize write fan-out per blob name, so members see
+	// the same apply order for a name while the layer is the only writer.
+	nameMu [64]sync.Mutex
+
+	// mailMu stripes serialize mailbox operations per recipient.
+	mailMu [64]sync.Mutex
+
+	// boxMu guards the client-side mailbox merge state.
+	boxMu      sync.Mutex
+	pending    map[string][]Message // popped from members, not yet delivered
+	delivered  map[string]struct{}  // recently delivered IDs (dedup window)
+	deliverLog []string             // FIFO eviction order for delivered
+
+	cfgMu sync.RWMutex
+	now   func() time.Time
+
+	stats struct {
+		puts, gets, deletes, lists atomic.Int64
+		sends, receives            atomic.Int64
+		quorumFailures             atomic.Int64
+		hintsQueued                atomic.Int64
+		readRepairs                atomic.Int64
+	}
+
+	loopMu   sync.Mutex
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// deliveredWindow bounds the Receive dedup window. A member lagging by more
+// than this many popped messages may re-deliver (at-least-once, never loss).
+const deliveredWindow = 8192
+
+// NewReplicated builds a replication layer over the given members.
+// Construction fails on an empty member list or a quorum outside [1, N] —
+// a W of N+1 can never be satisfied and a W of 0 would acknowledge writes
+// nobody stored.
+func NewReplicated(members []Service, opts ReplicatedOptions) (*Replicated, error) {
+	n := len(members)
+	if n == 0 {
+		return nil, errors.New("cloud: replicated: no members")
+	}
+	opts = opts.withDefaults(n)
+	if opts.WriteQuorum < 1 || opts.WriteQuorum > n {
+		return nil, fmt.Errorf("cloud: replicated: write quorum %d outside [1, %d]", opts.WriteQuorum, n)
+	}
+	if opts.ReadQuorum < 1 || opts.ReadQuorum > n {
+		return nil, fmt.Errorf("cloud: replicated: read quorum %d outside [1, %d]", opts.ReadQuorum, n)
+	}
+	if opts.HintCapacity < 1 {
+		return nil, fmt.Errorf("cloud: replicated: hint capacity %d < 1", opts.HintCapacity)
+	}
+	r := &Replicated{
+		members:   make([]*member, n),
+		opts:      opts,
+		pending:   make(map[string][]Message),
+		delivered: make(map[string]struct{}),
+		now:       time.Now,
+	}
+	for i, svc := range members {
+		if svc == nil {
+			return nil, fmt.Errorf("cloud: replicated: member %d is nil", i)
+		}
+		r.members[i] = &member{svc: svc}
+	}
+	return r, nil
+}
+
+// MemberCount returns the number of members.
+func (r *Replicated) MemberCount() int { return len(r.members) }
+
+// Quorums returns the configured (W, R).
+func (r *Replicated) Quorums() (w, r_ int) { return r.opts.WriteQuorum, r.opts.ReadQuorum }
+
+// Member returns member i's backend service.
+func (r *Replicated) Member(i int) Service {
+	m := r.members[i]
+	m.svcMu.RLock()
+	defer m.svcMu.RUnlock()
+	return m.svc
+}
+
+// SwapMember replaces member i's backend — the recovery path for a member
+// whose process restarted (e.g. a Durable reopened from its data directory,
+// or a TCP client re-dialed). The member is marked down; the next probe,
+// DrainHints or AntiEntropy pass brings it back up to date and back online.
+func (r *Replicated) SwapMember(i int, svc Service) {
+	m := r.members[i]
+	m.svcMu.Lock()
+	m.svc = svc
+	m.svcMu.Unlock()
+	m.mu.Lock()
+	m.down = true
+	m.consecFails = 0
+	m.mu.Unlock()
+}
+
+// MemberDown reports whether member i is currently marked down.
+func (r *Replicated) MemberDown(i int) bool {
+	m := r.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// SetClock overrides the layer clock used to stamp outgoing messages.
+func (r *Replicated) SetClock(now func() time.Time) {
+	r.cfgMu.Lock()
+	r.now = now
+	r.cfgMu.Unlock()
+}
+
+func (r *Replicated) clock() time.Time {
+	r.cfgMu.RLock()
+	now := r.now
+	r.cfgMu.RUnlock()
+	return now()
+}
+
+// ReplicationStats returns a snapshot of the layer's counters.
+func (r *Replicated) ReplicationStats() ReplicationStats {
+	var dropped, drained, down int64
+	for _, m := range r.members {
+		m.mu.Lock()
+		dropped += m.dropped
+		drained += m.drained
+		if m.down {
+			down++
+		}
+		m.mu.Unlock()
+	}
+	return ReplicationStats{
+		Puts: r.stats.puts.Load(), Gets: r.stats.gets.Load(),
+		Deletes: r.stats.deletes.Load(), Lists: r.stats.lists.Load(),
+		Sends: r.stats.sends.Load(), Receives: r.stats.receives.Load(),
+		QuorumFailures: r.stats.quorumFailures.Load(),
+		HintsQueued:    r.stats.hintsQueued.Load(),
+		HintsDropped:   dropped,
+		HintsDrained:   drained,
+		ReadRepairs:    r.stats.readRepairs.Load(),
+		MembersDown:    down,
+	}
+}
+
+// Stats implements Service with the layer's own logical-operation counters;
+// per-member counters are available through Member(i).Stats().
+func (r *Replicated) Stats() Stats {
+	return Stats{
+		Puts: r.stats.puts.Load(), Gets: r.stats.gets.Load(),
+		Deletes: r.stats.deletes.Load(), Lists: r.stats.lists.Load(),
+		Sends: r.stats.sends.Load(), Receives: r.stats.receives.Load(),
+	}
+}
+
+// --- member health and hinted handoff ---------------------------------------
+
+// markFailure records a failed call; crossing FailThreshold marks the member
+// down.
+func (r *Replicated) markFailure(m *member) {
+	m.mu.Lock()
+	m.consecFails++
+	if m.consecFails >= r.opts.FailThreshold {
+		m.down = true
+	}
+	m.mu.Unlock()
+}
+
+// markSuccess records a successful call.
+func (r *Replicated) markSuccess(m *member) {
+	m.mu.Lock()
+	m.consecFails = 0
+	m.mu.Unlock()
+}
+
+// enqueueHint queues a missed write for replay, dropping the oldest hint when
+// the queue is full.
+func (r *Replicated) enqueueHint(m *member, h hint) {
+	m.mu.Lock()
+	if len(m.hints) >= r.opts.HintCapacity {
+		drop := len(m.hints) - r.opts.HintCapacity + 1
+		m.hints = append(m.hints[:0], m.hints[drop:]...)
+		m.dropped += int64(drop)
+	}
+	m.hints = append(m.hints, h)
+	m.mu.Unlock()
+	r.stats.hintsQueued.Add(1)
+}
+
+// applyHint replays one hint against a member's backend.
+func applyHint(svc Service, h hint) error {
+	switch h.kind {
+	case hintPut:
+		_, err := svc.PutBlob(h.name, h.data)
+		return err
+	case hintDelete:
+		return svc.DeleteBlob(h.name)
+	case hintSend:
+		return svc.Send(h.msg)
+	}
+	return fmt.Errorf("cloud: replicated: unknown hint kind %d", h.kind)
+}
+
+// drainMember replays member i's hint queue in FIFO order. New writes keep
+// hinting to the tail while the drain runs, so replay order is total; the
+// member is marked up only in the same critical section that observes an
+// empty queue. Returns the number of hints replayed and whether the member
+// ended the drain marked up.
+func (r *Replicated) drainMember(i int) (int, bool) {
+	m := r.members[i]
+	svc := r.Member(i)
+	replayed := 0
+	for {
+		m.mu.Lock()
+		if len(m.hints) == 0 {
+			m.down = false
+			m.consecFails = 0
+			m.mu.Unlock()
+			return replayed, true
+		}
+		h := m.hints[0]
+		m.mu.Unlock()
+
+		if err := applyHint(svc, h); err != nil {
+			m.mu.Lock()
+			m.down = true
+			m.mu.Unlock()
+			return replayed, false
+		}
+
+		m.mu.Lock()
+		// The head is only ever removed here, so it is still h.
+		m.hints = m.hints[1:]
+		m.drained++
+		m.mu.Unlock()
+		replayed++
+	}
+}
+
+// DrainHints replays every member's hint queue (recovered members come back
+// up). It returns the total number of hints replayed.
+func (r *Replicated) DrainHints() int {
+	total := 0
+	for i, m := range r.members {
+		m.mu.Lock()
+		pending := len(m.hints) > 0 || m.down
+		m.mu.Unlock()
+		if pending {
+			n, _ := r.drainMember(i)
+			total += n
+		}
+	}
+	return total
+}
+
+// maybeProbe retries down members every ProbeEvery-th layer operation by
+// attempting a hint drain; a member whose queue drains dry comes back up.
+func (r *Replicated) maybeProbe() {
+	if r.ops.Add(1)%int64(r.opts.ProbeEvery) != 0 {
+		return
+	}
+	for i, m := range r.members {
+		m.mu.Lock()
+		down := m.down
+		m.mu.Unlock()
+		if down {
+			r.drainMember(i)
+		}
+	}
+}
+
+// live returns the indices of members not currently marked down.
+func (r *Replicated) live() []int {
+	idx := make([]int, 0, len(r.members))
+	for i, m := range r.members {
+		m.mu.Lock()
+		down := m.down
+		m.mu.Unlock()
+		if !down {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// --- fan-out helper ---------------------------------------------------------
+
+// fanResult is one member's answer to a fanned-out call.
+type fanResult struct {
+	idx     int
+	version int
+	blob    Blob
+	blobs   []Blob
+	vers    []int
+	names   []string
+	msgs    []Message
+	err     error
+}
+
+// fanout calls fn concurrently for every listed member and returns once need
+// members succeeded or every call returned — a hung member cannot stall an
+// operation that already has its quorum. Late results are discarded (their
+// goroutines still record health and hints via fn's own bookkeeping). onDone,
+// when non-nil, runs after every member call has returned; write paths use it
+// to hold their stripe lock for the full fan-out, so repairs never interleave
+// with a straggling write.
+func (r *Replicated) fanout(idxs []int, need int, fn func(i int, svc Service) fanResult, onDone func()) []fanResult {
+	ch := make(chan fanResult, len(idxs))
+	var wg sync.WaitGroup
+	for _, i := range idxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := fn(i, r.Member(i))
+			if res.err != nil {
+				r.markFailure(r.members[i])
+			} else {
+				r.markSuccess(r.members[i])
+			}
+			ch <- res
+		}(i)
+	}
+	if onDone != nil {
+		go func() {
+			wg.Wait()
+			onDone()
+		}()
+	}
+	out := make([]fanResult, 0, len(idxs))
+	succ := 0
+	for range idxs {
+		res := <-ch
+		out = append(out, res)
+		if res.err == nil {
+			succ++
+		}
+		if succ >= need {
+			break
+		}
+	}
+	return out
+}
+
+func (r *Replicated) stripe(key string) *sync.Mutex {
+	return &r.nameMu[shardIndexOf(key, len(r.nameMu))]
+}
+
+func (r *Replicated) mailStripe(key string) *sync.Mutex {
+	return &r.mailMu[shardIndexOf(key, len(r.mailMu))]
+}
+
+// --- Service: blobs ---------------------------------------------------------
+
+// PutBlob stores data on a write quorum of members and returns the maximum
+// version the acknowledging members assigned. Members that are down or whose
+// call failed receive a hint. The data is copied before fan-out, so the
+// caller may recycle its buffer the moment the call returns even while a
+// slow member's write is still in flight.
+func (r *Replicated) PutBlob(name string, data []byte) (int, error) {
+	r.maybeProbe()
+	stored := append([]byte(nil), data...)
+
+	// The stripe stays locked until every member call has returned (not just
+	// the quorum this call waits for): a repair that cannot take the stripe
+	// knows a write is still propagating and backs off, so a straggler can
+	// never race a repair put and inflate versions.
+	mu := r.stripe(name)
+	mu.Lock()
+
+	live := r.live()
+	for _, i := range r.downMembers() {
+		r.enqueueHint(r.members[i], hint{kind: hintPut, name: name, data: stored})
+	}
+	if len(live) < r.opts.WriteQuorum {
+		mu.Unlock()
+		r.stats.quorumFailures.Add(1)
+		return 0, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+	}
+	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+		v, err := svc.PutBlob(name, stored)
+		if err != nil {
+			r.enqueueHint(r.members[i], hint{kind: hintPut, name: name, data: stored})
+		}
+		return fanResult{idx: i, version: v, err: err}
+	}, mu.Unlock)
+	maxV, acks := 0, 0
+	for _, res := range results {
+		if res.err == nil {
+			acks++
+			if res.version > maxV {
+				maxV = res.version
+			}
+		}
+	}
+	if acks < r.opts.WriteQuorum {
+		r.stats.quorumFailures.Add(1)
+		return 0, fmt.Errorf("%w: %d of %d write acks", ErrQuorumFailed, acks, r.opts.WriteQuorum)
+	}
+	r.stats.puts.Add(1)
+	return maxV, nil
+}
+
+// downMembers returns the indices of members currently marked down.
+func (r *Replicated) downMembers() []int {
+	idx := make([]int, 0, len(r.members))
+	for i, m := range r.members {
+		m.mu.Lock()
+		down := m.down
+		m.mu.Unlock()
+		if down {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// GetBlob reads from a read quorum of members and returns the
+// maximum-version response, repairing stale members on the way out. A
+// member's "not found" counts as a response at version 0; the read fails
+// with ErrBlobNotFound only when the whole quorum agrees the blob is gone.
+func (r *Replicated) GetBlob(name string) (Blob, error) {
+	r.maybeProbe()
+	live := r.live()
+	if len(live) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return Blob{}, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
+	}
+	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
+		b, err := svc.GetBlob(name)
+		if err == ErrBlobNotFound {
+			return fanResult{idx: i, blob: Blob{}}
+		}
+		return fanResult{idx: i, blob: b, err: err}
+	}, nil)
+	winner, responders, ok := mergeBlobResponses(results)
+	if !ok {
+		r.stats.quorumFailures.Add(1)
+		return Blob{}, fmt.Errorf("%w: %d of %d read responses", ErrQuorumFailed, len(responders), r.opts.ReadQuorum)
+	}
+	r.stats.gets.Add(1)
+	if winner.Version == 0 {
+		return Blob{}, ErrBlobNotFound
+	}
+	r.readRepair(name, winner, responders)
+	winner.Name = name
+	return winner, nil
+}
+
+// blobResponse is one member's (possibly zero) copy of a blob.
+type blobResponse struct {
+	idx  int
+	blob Blob
+}
+
+// mergeBlobResponses picks the maximum-version response (ties break toward
+// the lowest member index, making conflict resolution deterministic) and
+// returns the full responder list for read repair. ok is false when fewer
+// responses than requested arrived error-free.
+func mergeBlobResponses(results []fanResult) (Blob, []blobResponse, bool) {
+	var responders []blobResponse
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		responders = append(responders, blobResponse{idx: res.idx, blob: res.blob})
+	}
+	if len(responders) == 0 {
+		return Blob{}, nil, false
+	}
+	sort.Slice(responders, func(a, b int) bool { return responders[a].idx < responders[b].idx })
+	winner := responders[0].blob
+	for _, resp := range responders[1:] {
+		if resp.blob.Version > winner.Version {
+			winner = resp.blob
+		}
+	}
+	return winner, responders, true
+}
+
+// readRepair rewrites the winning blob to every responder whose snapshot was
+// stale: an older version, or different bytes at the winning version (a
+// conflict, resolved deterministically toward the merge winner).
+func (r *Replicated) readRepair(name string, winner Blob, responders []blobResponse) {
+	targets := make([]int, 0, len(responders))
+	for _, resp := range responders {
+		stale := resp.blob.Version < winner.Version ||
+			(resp.blob.Version == winner.Version && !bytes.Equal(resp.blob.Data, winner.Data))
+		if stale {
+			targets = append(targets, resp.idx)
+		}
+	}
+	r.stats.readRepairs.Add(int64(r.repairName(name, winner, targets)))
+}
+
+// repairName lifts the listed members to the winning blob. It only acts when
+// it can take the name's stripe without waiting: write fan-outs hold the
+// stripe until every member call returns, so owning it proves no write is in
+// flight — and the member state re-read under the lock is current, never a
+// stale snapshot a straggler already advanced past. When the stripe is busy a
+// write is still propagating; repairing then would race it and inflate
+// versions, so the repair is skipped and the next read or anti-entropy pass
+// retries. Repair puts until the member's version reaches the winner's, so
+// converged members agree on versions, not just bytes; a conflicting copy at
+// the winning version gets one extra put, making its member the new maximum
+// carrying the winning data, and the next pass lifts the rest. Returns the
+// number of repair puts issued.
+func (r *Replicated) repairName(name string, winner Blob, targets []int) int {
+	if winner.Version == 0 || len(targets) == 0 {
+		return 0
+	}
+	mu := r.stripe(name)
+	if !mu.TryLock() {
+		return 0
+	}
+	defer mu.Unlock()
+	puts := 0
+	for _, i := range targets {
+		svc := r.Member(i)
+		cur, err := svc.GetBlob(name)
+		if err != nil && err != ErrBlobNotFound {
+			continue
+		}
+		stale := cur.Version < winner.Version ||
+			(cur.Version == winner.Version && !bytes.Equal(cur.Data, winner.Data))
+		if !stale {
+			continue
+		}
+		for v := cur.Version; v < winner.Version; {
+			nv, err := svc.PutBlob(name, winner.Data)
+			if err != nil || nv <= v {
+				break
+			}
+			v = nv
+			puts++
+		}
+		if cur.Version == winner.Version {
+			if _, err := svc.PutBlob(name, winner.Data); err == nil {
+				puts++
+			}
+		}
+	}
+	return puts
+}
+
+// DeleteBlob deletes on a write quorum of members; members that miss the
+// delete receive a hint. Deletion is not tombstoned: a member that misses
+// both the delete and its hint can resurrect the blob through anti-entropy
+// (the failure matrix in DESIGN.md §9 spells this out).
+func (r *Replicated) DeleteBlob(name string) error {
+	r.maybeProbe()
+	mu := r.stripe(name)
+	mu.Lock()
+
+	live := r.live()
+	for _, i := range r.downMembers() {
+		r.enqueueHint(r.members[i], hint{kind: hintDelete, name: name})
+	}
+	if len(live) < r.opts.WriteQuorum {
+		mu.Unlock()
+		r.stats.quorumFailures.Add(1)
+		return fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+	}
+	// Deletes wait for every live member, not just W: with no tombstones, a
+	// straggling member could otherwise serve (or resurrect via repair) the
+	// blob to a read that follows the acknowledged delete. A member that
+	// hangs long enough to be marked down exits the live set and gets a hint.
+	results := r.fanout(live, len(live), func(i int, svc Service) fanResult {
+		err := svc.DeleteBlob(name)
+		if err != nil {
+			r.enqueueHint(r.members[i], hint{kind: hintDelete, name: name})
+		}
+		return fanResult{idx: i, err: err}
+	}, mu.Unlock)
+	acks := 0
+	for _, res := range results {
+		if res.err == nil {
+			acks++
+		}
+	}
+	if acks < r.opts.WriteQuorum {
+		r.stats.quorumFailures.Add(1)
+		return fmt.Errorf("%w: %d of %d delete acks", ErrQuorumFailed, acks, r.opts.WriteQuorum)
+	}
+	r.stats.deletes.Add(1)
+	return nil
+}
+
+// ListBlobs returns the union of the names a read quorum of members store.
+func (r *Replicated) ListBlobs(prefix string) ([]string, error) {
+	r.maybeProbe()
+	live := r.live()
+	if len(live) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
+	}
+	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
+		names, err := svc.ListBlobs(prefix)
+		return fanResult{idx: i, names: names, err: err}
+	}, nil)
+	seen := make(map[string]bool)
+	succ := 0
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		succ++
+		for _, n := range res.names {
+			seen[n] = true
+		}
+	}
+	if succ < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d list responses", ErrQuorumFailed, succ, r.opts.ReadQuorum)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r.stats.lists.Add(1)
+	return names, nil
+}
+
+// --- Service: mailboxes -----------------------------------------------------
+
+// Send replicates the message to a write quorum of the members' mailboxes.
+// The layer assigns the message ID (when empty) and timestamp before fan-out,
+// so every member stores an identical message and Receive can deduplicate.
+func (r *Replicated) Send(msg Message) error {
+	r.maybeProbe()
+	seq := r.nextMsg.Add(1)
+	if msg.ID == "" {
+		msg.ID = fmt.Sprintf("rmsg-%016x", seq)
+	}
+	if msg.Sent.IsZero() {
+		msg.Sent = r.clock()
+	}
+	msg.Body = append([]byte(nil), msg.Body...)
+
+	mu := r.mailStripe(msg.To)
+	mu.Lock()
+	defer mu.Unlock()
+
+	live := r.live()
+	for _, i := range r.downMembers() {
+		r.enqueueHint(r.members[i], hint{kind: hintSend, msg: msg})
+	}
+	if len(live) < r.opts.WriteQuorum {
+		r.stats.quorumFailures.Add(1)
+		return fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+	}
+	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+		err := svc.Send(msg)
+		if err != nil {
+			r.enqueueHint(r.members[i], hint{kind: hintSend, msg: msg})
+		}
+		return fanResult{idx: i, err: err}
+	}, nil)
+	acks := 0
+	for _, res := range results {
+		if res.err == nil {
+			acks++
+		}
+	}
+	if acks < r.opts.WriteQuorum {
+		r.stats.quorumFailures.Add(1)
+		return fmt.Errorf("%w: %d of %d send acks", ErrQuorumFailed, acks, r.opts.WriteQuorum)
+	}
+	r.stats.sends.Add(1)
+	return nil
+}
+
+// Receive pops up to max pending messages for the recipient in FIFO order.
+// Every live member's mailbox is drained; messages are deduplicated by ID
+// against a bounded window of already-delivered messages, ordered by
+// (Sent, ID) — both assigned by Send before fan-out — and served from a
+// local pending queue, so a bounded Receive never loses the messages it
+// popped but did not return. At least one member must respond.
+func (r *Replicated) Receive(recipient string, max int) ([]Message, error) {
+	r.maybeProbe()
+	mu := r.mailStripe(recipient)
+	mu.Lock()
+	defer mu.Unlock()
+
+	live := r.live()
+	if len(live) == 0 {
+		r.stats.quorumFailures.Add(1)
+		return nil, ErrUnavailable
+	}
+	results := r.fanout(live, len(live), func(i int, svc Service) fanResult {
+		msgs, err := svc.Receive(recipient, 0)
+		return fanResult{idx: i, err: err, msgs: msgs}
+	}, nil)
+	succ := 0
+	var fresh []Message
+	r.boxMu.Lock()
+	inPending := make(map[string]bool)
+	for _, m := range r.pending[recipient] {
+		inPending[m.ID] = true
+	}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		succ++
+		for _, m := range res.msgs {
+			if _, dup := r.delivered[m.ID]; dup || inPending[m.ID] {
+				continue
+			}
+			inPending[m.ID] = true
+			fresh = append(fresh, m)
+			r.rememberDelivered(m.ID)
+		}
+	}
+	if succ == 0 {
+		r.boxMu.Unlock()
+		r.stats.quorumFailures.Add(1)
+		return nil, ErrUnavailable
+	}
+	box := append(r.pending[recipient], fresh...)
+	sort.SliceStable(box, func(a, b int) bool {
+		if !box[a].Sent.Equal(box[b].Sent) {
+			return box[a].Sent.Before(box[b].Sent)
+		}
+		return box[a].ID < box[b].ID
+	})
+	if max <= 0 || max > len(box) {
+		max = len(box)
+	}
+	out := make([]Message, max)
+	copy(out, box[:max])
+	rest := box[max:]
+	if len(rest) == 0 {
+		delete(r.pending, recipient)
+	} else {
+		r.pending[recipient] = append([]Message(nil), rest...)
+	}
+	r.boxMu.Unlock()
+	r.stats.receives.Add(1)
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// rememberDelivered records a popped message ID in the bounded dedup window.
+// Caller holds boxMu.
+func (r *Replicated) rememberDelivered(id string) {
+	r.delivered[id] = struct{}{}
+	r.deliverLog = append(r.deliverLog, id)
+	for len(r.deliverLog) > deliveredWindow {
+		delete(r.delivered, r.deliverLog[0])
+		r.deliverLog = r.deliverLog[1:]
+	}
+}
+
+// --- BatchService -----------------------------------------------------------
+
+// fanBatch fans a whole batch to each live member: one member call per
+// member, W acks required, hints per element for the members that missed it.
+func (r *Replicated) lockStripes(keys []string) func() {
+	idx := make([]int, 0, len(keys))
+	seen := make(map[int]bool)
+	for _, k := range keys {
+		i := shardIndexOf(k, len(r.nameMu))
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		r.nameMu[i].Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			r.nameMu[idx[j]].Unlock()
+		}
+	}
+}
+
+// PutBlobs stores the whole batch on a write quorum of members — each member
+// sees the batch as one call, so a durable member still pays one WAL record
+// per shard it touches — and returns the element-wise maximum versions the
+// acknowledging members assigned.
+func (r *Replicated) PutBlobs(puts []BlobPut) ([]int, error) {
+	r.maybeProbe()
+	if len(puts) == 0 {
+		return nil, nil
+	}
+	// Private copies: members and hint queues may outlive the caller's
+	// buffers (see the PutBlob contract in cloud.go).
+	copied := make([]BlobPut, len(puts))
+	for i, p := range puts {
+		copied[i] = BlobPut{Name: p.Name, Data: append([]byte(nil), p.Data...)}
+	}
+	names := make([]string, len(copied))
+	for i, p := range copied {
+		names[i] = p.Name
+	}
+	// As in PutBlob, the stripes stay locked until every member call has
+	// returned, so repairs cannot interleave with a straggling batch write.
+	unlock := r.lockStripes(names)
+
+	hintAll := func(i int) {
+		for _, p := range copied {
+			r.enqueueHint(r.members[i], hint{kind: hintPut, name: p.Name, data: p.Data})
+		}
+	}
+	live := r.live()
+	for _, i := range r.downMembers() {
+		hintAll(i)
+	}
+	if len(live) < r.opts.WriteQuorum {
+		unlock()
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+	}
+	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+		vers, err := PutBlobsVia(svc, copied)
+		if err != nil {
+			hintAll(i)
+		}
+		return fanResult{idx: i, vers: vers, err: err}
+	}, unlock)
+	versions := make([]int, len(copied))
+	acks := 0
+	for _, res := range results {
+		if res.err != nil || len(res.vers) != len(copied) {
+			continue
+		}
+		acks++
+		for i, v := range res.vers {
+			if v > versions[i] {
+				versions[i] = v
+			}
+		}
+	}
+	if acks < r.opts.WriteQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d batch-put acks", ErrQuorumFailed, acks, r.opts.WriteQuorum)
+	}
+	r.stats.puts.Add(int64(len(copied)))
+	return versions, nil
+}
+
+// GetBlobs reads the whole batch from a read quorum of members and merges
+// element-wise by maximum version, repairing stale members on the way out.
+// Missing names yield a zero Blob at their position.
+func (r *Replicated) GetBlobs(names []string) ([]Blob, error) {
+	r.maybeProbe()
+	if len(names) == 0 {
+		return nil, nil
+	}
+	live := r.live()
+	if len(live) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
+	}
+	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
+		blobs, err := GetBlobsVia(svc, names)
+		if err == nil && len(blobs) != len(names) {
+			err = fmt.Errorf("cloud: replicated: member %d returned %d blobs for %d names", i, len(blobs), len(names))
+		}
+		return fanResult{idx: i, blobs: blobs, err: err}
+	}, nil)
+	merged, err := r.mergeBatch(names, results)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.gets.Add(int64(len(names)))
+	return merged, nil
+}
+
+// mergeBatch merges per-member batch reads element-wise by maximum version
+// and repairs stale members.
+func (r *Replicated) mergeBatch(names []string, results []fanResult) ([]Blob, error) {
+	var ok []fanResult
+	for _, res := range results {
+		if res.err == nil {
+			ok = append(ok, res)
+		}
+	}
+	if len(ok) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d batch-read responses", ErrQuorumFailed, len(ok), r.opts.ReadQuorum)
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a].idx < ok[b].idx })
+	merged := make([]Blob, len(names))
+	for pos, name := range names {
+		responders := make([]blobResponse, 0, len(ok))
+		for _, res := range ok {
+			responders = append(responders, blobResponse{idx: res.idx, blob: res.blobs[pos]})
+		}
+		winner := responders[0].blob
+		for _, resp := range responders[1:] {
+			if resp.blob.Version > winner.Version {
+				winner = resp.blob
+			}
+		}
+		if winner.Version > 0 {
+			r.readRepair(name, winner, responders)
+			winner.Name = name
+		}
+		merged[pos] = winner
+	}
+	return merged, nil
+}
+
+// GetBlobsIf implements ConditionalBatchService: the element-wise
+// maximum-version merge of a read quorum, shipping data only past the
+// caller's version. The conditional path does not read-repair — it is the
+// hot path of delta sync — so repairs ride on GetBlob/GetBlobs and the
+// anti-entropy pass.
+func (r *Replicated) GetBlobsIf(gets []CondGet) ([]Blob, error) {
+	r.maybeProbe()
+	if len(gets) == 0 {
+		return nil, nil
+	}
+	live := r.live()
+	if len(live) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
+	}
+	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
+		blobs, err := GetBlobsIfVia(svc, gets)
+		if err == nil && len(blobs) != len(gets) {
+			err = fmt.Errorf("cloud: replicated: member %d returned %d blobs for %d gets", i, len(blobs), len(gets))
+		}
+		return fanResult{idx: i, blobs: blobs, err: err}
+	}, nil)
+	var ok []fanResult
+	for _, res := range results {
+		if res.err == nil {
+			ok = append(ok, res)
+		}
+	}
+	if len(ok) < r.opts.ReadQuorum {
+		r.stats.quorumFailures.Add(1)
+		return nil, fmt.Errorf("%w: %d of %d conditional-read responses", ErrQuorumFailed, len(ok), r.opts.ReadQuorum)
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a].idx < ok[b].idx })
+	merged := make([]Blob, len(gets))
+	for pos, g := range gets {
+		winner := ok[0].blobs[pos]
+		for _, res := range ok[1:] {
+			if res.blobs[pos].Version > winner.Version {
+				winner = res.blobs[pos]
+			}
+		}
+		if winner.Version > 0 {
+			winner.Name = g.Name
+			if winner.Version <= g.IfNewer {
+				winner.Data = nil
+			}
+		}
+		merged[pos] = winner
+	}
+	r.stats.gets.Add(int64(len(gets)))
+	return merged, nil
+}
+
+// --- anti-entropy -----------------------------------------------------------
+
+// AntiEntropy drains every hint queue, then scans the union of blob names —
+// grouped by the same package-level FNV sharding that stripes Memory and
+// Durable — comparing members shard by shard and rewriting stale copies with
+// the winning blob. One pass converges every reachable member to the
+// element-wise maximum state (including writes lost to hint-queue overflow).
+func (r *Replicated) AntiEntropy() (RepairReport, error) {
+	var report RepairReport
+	report.HintsDrained = r.DrainHints()
+
+	live := r.live()
+	if len(live) == 0 {
+		return report, ErrUnavailable
+	}
+	seen := make(map[string]bool)
+	reachable := make([]int, 0, len(live))
+	for _, i := range live {
+		names, err := r.Member(i).ListBlobs("")
+		if err != nil {
+			r.markFailure(r.members[i])
+			continue
+		}
+		r.markSuccess(r.members[i])
+		reachable = append(reachable, i)
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	if len(reachable) == 0 {
+		return report, ErrUnavailable
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	report.Names = len(names)
+
+	groups := groupKeysByShard(len(names), r.opts.SyncShards, func(i int) string { return names[i] })
+	report.Shards = len(groups)
+	for _, g := range groups {
+		shardNames := make([]string, len(g.indices))
+		for j, i := range g.indices {
+			shardNames[j] = names[i]
+		}
+		if err := r.repairShard(shardNames, reachable, &report); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// repairShard compares one shard's blobs across members and rewrites stale
+// copies.
+func (r *Replicated) repairShard(names []string, memberIdx []int, report *RepairReport) error {
+	type view struct {
+		idx   int
+		blobs []Blob
+	}
+	views := make([]view, 0, len(memberIdx))
+	for _, i := range memberIdx {
+		blobs, err := GetBlobsVia(r.Member(i), names)
+		if err != nil || len(blobs) != len(names) {
+			r.markFailure(r.members[i])
+			continue
+		}
+		views = append(views, view{idx: i, blobs: blobs})
+	}
+	if len(views) == 0 {
+		return ErrUnavailable
+	}
+	for pos, name := range names {
+		winner := views[0].blobs[pos]
+		for _, v := range views[1:] {
+			if v.blobs[pos].Version > winner.Version {
+				winner = v.blobs[pos]
+			}
+		}
+		if winner.Version == 0 {
+			continue
+		}
+		targets := make([]int, 0, len(views))
+		for _, v := range views {
+			b := v.blobs[pos]
+			stale := b.Version < winner.Version ||
+				(b.Version == winner.Version && !bytes.Equal(b.Data, winner.Data))
+			if stale {
+				targets = append(targets, v.idx)
+			}
+		}
+		puts := r.repairName(name, winner, targets)
+		report.StalePuts += puts
+		report.BytesMoved += int64(puts * len(winner.Data))
+	}
+	return nil
+}
+
+// StartAntiEntropy launches a background loop that runs DrainHints and
+// AntiEntropy every interval until Close. It is idempotent: a second call
+// replaces the previous loop.
+func (r *Replicated) StartAntiEntropy(interval time.Duration) {
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	r.stopLoopLocked()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.loopStop, r.loopDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_, _ = r.AntiEntropy()
+			}
+		}
+	}()
+}
+
+// Close stops the background anti-entropy loop (members are not closed; the
+// caller owns their lifecycles).
+func (r *Replicated) Close() error {
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	r.stopLoopLocked()
+	return nil
+}
+
+func (r *Replicated) stopLoopLocked() {
+	if r.loopStop != nil {
+		close(r.loopStop)
+		<-r.loopDone
+		r.loopStop, r.loopDone = nil, nil
+	}
+}
+
+// String names the layer for logs.
+func (r *Replicated) String() string {
+	return fmt.Sprintf("replicated(%d members, W=%d, R=%d)", len(r.members), r.opts.WriteQuorum, r.opts.ReadQuorum)
+}
+
+// interface conformance
+var (
+	_ Service                 = (*Replicated)(nil)
+	_ BatchService            = (*Replicated)(nil)
+	_ ConditionalBatchService = (*Replicated)(nil)
+	_ fmt.Stringer            = (*Replicated)(nil)
+)

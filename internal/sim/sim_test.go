@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(ids))
 	}
 }
 
@@ -390,6 +390,44 @@ func TestRunE13Shape(t *testing.T) {
 	}
 	if table.Metrics["durable_overhead"] <= 0 {
 		t.Fatalf("overhead metric missing: %v", table.Metrics)
+	}
+}
+
+// TestRunE15Shape is the acceptance gate of the availability drill: one of
+// three providers dies mid-workload, no acknowledged write may be lost, and
+// the returning member must converge through the hinted-handoff drain.
+func TestRunE15Shape(t *testing.T) {
+	cfg := E15Config{
+		CatalogSizes: []int{800},
+		PayloadSize:  512,
+		BatchSize:    128,
+		Members:      3,
+		WriteQuorum:  2,
+		ReadQuorum:   2,
+		KillFrac:     0.5,
+	}
+	table, err := RunE15(cfg)
+	if err != nil {
+		t.Fatalf("RunE15: %v", err)
+	}
+	// Two rows (memory, replicated) per catalog size.
+	if len(table.Rows) != 2*len(cfg.CatalogSizes) {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if table.Metrics["replicated_ingest_docs_per_sec"] <= 0 {
+		t.Fatalf("replicated throughput missing: %v\n%s", table.Metrics, table)
+	}
+	if loss := table.Metrics["acked_loss"]; loss != 0 {
+		t.Fatalf("acked writes lost during the kill drill: %.0f\n%s", loss, table)
+	}
+	if pct := table.Metrics["acked_readable_pct"]; pct != 100 {
+		t.Fatalf("every acked write must be readable at quorum, got %.1f%%\n%s", pct, table)
+	}
+	if pct := table.Metrics["converged_pct"]; pct != 100 {
+		t.Fatalf("returning member must converge via handoff drain, got %.1f%%\n%s", pct, table)
+	}
+	if table.Metrics["replication_overhead"] <= 0 || table.Metrics["degraded_overhead"] <= 0 {
+		t.Fatalf("overhead metrics missing: %v", table.Metrics)
 	}
 }
 

@@ -270,6 +270,44 @@ func OpenDurableCloud(dir string, opts DurableCloudOptions) (*DurableCloud, erro
 // DialCloud connects to a tccloud server over TCP and returns a CloudService.
 func DialCloud(addr string) (CloudService, error) { return cloud.Dial(addr) }
 
+// ReplicatedCloud stripes the full cloud contracts over N member providers —
+// any mix of in-memory, durable and dialed TCP backends — with quorum writes,
+// quorum reads with read repair, hinted handoff for members that go dark, and
+// an anti-entropy pass that reconciles diverged members (see
+// NewReplicatedCloud and DESIGN.md §9). Experiment E15 drills it: one of
+// three providers killed mid-workload, zero acknowledged writes lost.
+type ReplicatedCloud = cloud.Replicated
+
+// ReplicatedCloudOptions configure a replicated cloud; the zero value derives
+// majority quorums from the member count.
+type ReplicatedCloudOptions = cloud.ReplicatedOptions
+
+// ReplicatedRepairReport summarises one anti-entropy pass of a replicated
+// cloud.
+type ReplicatedRepairReport = cloud.RepairReport
+
+// NewReplicatedCloud builds a replicated cloud service over the given member
+// providers. Construction fails on an empty member list or a quorum outside
+// [1, len(members)].
+func NewReplicatedCloud(members []CloudService, opts ReplicatedCloudOptions) (*ReplicatedCloud, error) {
+	return cloud.NewReplicated(members, opts)
+}
+
+// FaultyCloud wraps any cloud provider with deterministic fault injection —
+// seeded per-operation error rates, latency spikes, full-outage and flap
+// schedules, partition masks — so failure handling can be tested on demand
+// (see NewFaultyCloud). It is how E15 kills a replicated member.
+type FaultyCloud = cloud.Faulty
+
+// FaultyCloudOptions parameterise the injected misbehaviour; the zero value
+// injects nothing until the runtime switches flip.
+type FaultyCloudOptions = cloud.FaultyOptions
+
+// NewFaultyCloud wraps inner with the given fault schedule.
+func NewFaultyCloud(inner CloudService, opts FaultyCloudOptions) *FaultyCloud {
+	return cloud.NewFaulty(inner, opts)
+}
+
 // NewSeries creates an empty time series with a name and unit.
 func NewSeries(name, unit string) *Series { return timeseries.NewSeries(name, unit) }
 
@@ -313,7 +351,7 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e13, fig1) with
+// RunExperiment runs one of the DESIGN.md experiments (e1..e15, fig1) with
 // its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
