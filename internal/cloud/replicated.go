@@ -12,28 +12,39 @@ package cloud
 //   - Quorum writes: every write fans out to all live members and is
 //     acknowledged once W members accepted it. The returned version is the
 //     maximum version the acknowledging members assigned.
-//   - Quorum reads: a read needs R member responses ("blob not found" counts
-//     as a response at version 0); the winner is the response with the
-//     maximum version. With W+R > N every acknowledged write intersects
-//     every quorum read, so acknowledged data is always readable.
+//   - Quorum reads: a read needs R error-free member responses ("blob not
+//     found" counts as a response at version 0) — fewer than R fails with
+//     ErrQuorumFailed; the winner is the response with the maximum version.
+//     With W+R > N every acknowledged write intersects every quorum read, so
+//     acknowledged data is always readable.
 //   - Read repair: members that answered a read with a stale version (or
 //     conflicting bytes at the winning version) are rewritten with the
 //     winning blob until their version catches up to the winner's.
-//   - Hinted handoff: a write that a member misses — it is down, or its call
-//     failed — is queued as a hint in a bounded per-member FIFO and replayed
-//     in order when the member returns. The queue drops its oldest hint on
-//     overflow (counted); anti-entropy repairs whatever overflow loses.
+//   - Hinted handoff: a write that a member misses — it is down, it holds
+//     queued hints, or its call failed — is queued as a hint in a bounded
+//     per-member FIFO and replayed in order when the member recovers. A
+//     member with a non-empty hint queue takes no direct calls: every write
+//     it would have received is appended behind the writes it missed, so
+//     replay preserves per-name order and an old put or delete can never be
+//     replayed over newer directly-written data. Hints are queued only after
+//     an operation passes its quorum check — an operation that fails fast
+//     queues nothing, so a write the caller was told failed cannot
+//     materialize later out of a hint queue. The queue drops its oldest hint
+//     on overflow (counted); anti-entropy repairs whatever overflow loses.
 //   - Anti-entropy: a periodic pass drains hint queues, then walks the union
 //     of blob names grouped by the same package-level FNV sharding that
 //     stripes Memory and Durable (shardIndexOf / groupKeysByShard), compares
 //     members shard by shard, and rewrites stale copies.
 //
 // Membership and health: a member that fails FailThreshold consecutive calls
-// is marked down; while down it receives hints instead of calls. Every
-// ProbeEvery-th operation retries a down member by draining its hints; the
-// member is marked up only once its hint queue is empty, so recovered members
-// observe the missed writes in their original order before new writes reach
-// them directly.
+// is marked down; while down it receives hints instead of calls. Every member
+// call is bounded by CallTimeout, so a member that hangs rather than errors
+// costs any one operation at most one timeout before it is treated as failed
+// (and, failing repeatedly, marked down). Every ProbeEvery-th operation
+// retries a down or hint-holding member by draining its hints; drains are
+// serialized per member, and the member is marked up only once its hint queue
+// is empty, so recovered members observe the missed writes in their original
+// order before new writes reach them directly.
 //
 // Mailboxes replicate too: Send assigns a layer-wide monotonic message ID and
 // timestamp, then fans out under the same W-of-N rule; Receive drains every
@@ -84,6 +95,16 @@ type ReplicatedOptions struct {
 	// SyncShards is the FNV shard count of the anti-entropy pass. Defaults
 	// to 16.
 	SyncShards int
+	// CallTimeout bounds every call the layer makes to a member (fan-outs,
+	// hint replay, anti-entropy scans). A member that has not answered by the
+	// deadline counts as failed for that operation: the operation proceeds
+	// with the answers it has, and the member earns a failure mark plus — on
+	// write paths — a hint. One hung provider therefore stalls an operation
+	// by at most CallTimeout instead of blocking it forever. The abandoned
+	// call keeps running in its goroutine (Service has no cancellation) and
+	// may still apply later; DESIGN.md §9.5 lists the consequences. Defaults
+	// to 5s; negative disables the bound.
+	CallTimeout time.Duration
 }
 
 func (o ReplicatedOptions) withDefaults(n int) ReplicatedOptions {
@@ -104,6 +125,12 @@ func (o ReplicatedOptions) withDefaults(n int) ReplicatedOptions {
 	}
 	if o.SyncShards == 0 {
 		o.SyncShards = 16
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0 // explicit "no bound"
 	}
 	return o
 }
@@ -133,10 +160,12 @@ type member struct {
 	svc   Service
 
 	// mu guards the health state and the hint queue together: a member is
-	// marked up only under an empty queue, so drained hints and new direct
-	// writes can never reorder.
+	// marked up only under an empty queue, and a hint is enqueued only under
+	// a re-check of that state, so drained hints and new direct writes can
+	// never reorder.
 	mu          sync.Mutex
 	down        bool
+	draining    bool // a drain is replaying the queue; at most one at a time
 	consecFails int
 	hints       []hint
 	dropped     int64 // hints lost to queue overflow
@@ -354,18 +383,63 @@ func (r *Replicated) markSuccess(m *member) {
 	m.mu.Unlock()
 }
 
-// enqueueHint queues a missed write for replay, dropping the oldest hint when
-// the queue is full.
-func (r *Replicated) enqueueHint(m *member, h hint) {
-	m.mu.Lock()
+// enqueueLocked appends h to m's queue, dropping the oldest hint when the
+// queue is full. The caller holds m.mu.
+func (r *Replicated) enqueueLocked(m *member, h hint) {
 	if len(m.hints) >= r.opts.HintCapacity {
 		drop := len(m.hints) - r.opts.HintCapacity + 1
 		m.hints = append(m.hints[:0], m.hints[drop:]...)
 		m.dropped += int64(drop)
 	}
 	m.hints = append(m.hints, h)
-	m.mu.Unlock()
 	r.stats.hintsQueued.Add(1)
+}
+
+// hintIfPending queues hs for member i only while the member is still
+// ineligible for direct calls (down, or holding queued hints). The check and
+// the enqueue are one critical section with drainMember's mark-up: either the
+// hints land on a queue a drain must empty before the member comes up, or the
+// member is already back and the hints are skipped — read repair and
+// anti-entropy recover the miss — so a drain can never be raced into
+// accepting a hint it would replay out of order.
+func (r *Replicated) hintIfPending(i int, hs ...hint) {
+	m := r.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.down && len(m.hints) == 0 {
+		return
+	}
+	for _, h := range hs {
+		r.enqueueLocked(m, h)
+	}
+}
+
+// hintSkipped queues hs on every member the fan-out skipped (not in live).
+// Callers invoke it only after their quorum check passed: an operation that
+// fails fast queues nothing.
+func (r *Replicated) hintSkipped(live []int, hs ...hint) {
+	inLive := make(map[int]bool, len(live))
+	for _, i := range live {
+		inLive[i] = true
+	}
+	for i := range r.members {
+		if !inLive[i] {
+			r.hintIfPending(i, hs...)
+		}
+	}
+}
+
+// hintFailed queues hs after member i failed a direct call it was fanned: the
+// member missed this write, and because live() excludes members with queued
+// hints it takes no further direct calls until a drain replays the queue —
+// replay order stays total even when the member never crosses FailThreshold.
+func (r *Replicated) hintFailed(i int, hs ...hint) {
+	m := r.members[i]
+	m.mu.Lock()
+	for _, h := range hs {
+		r.enqueueLocked(m, h)
+	}
+	m.mu.Unlock()
 }
 
 // applyHint replays one hint against a member's backend.
@@ -382,13 +456,30 @@ func applyHint(svc Service, h hint) error {
 	return fmt.Errorf("cloud: replicated: unknown hint kind %d", h.kind)
 }
 
-// drainMember replays member i's hint queue in FIFO order. New writes keep
-// hinting to the tail while the drain runs, so replay order is total; the
-// member is marked up only in the same critical section that observes an
-// empty queue. Returns the number of hints replayed and whether the member
-// ended the drain marked up.
+// drainMember replays member i's hint queue in FIFO order. At most one drain
+// per member runs at a time (the draining flag): two concurrent drains could
+// both replay the head and then both pop, discarding a hint that was never
+// applied — with no tombstones, a lost delete hint resurrects a blob. New
+// writes keep hinting to the tail while the drain runs, so replay order is
+// total; the member is marked up only in the same critical section that
+// observes an empty queue. Returns the number of hints replayed and whether
+// the member ended the drain marked up (false also when another drain was
+// already running).
 func (r *Replicated) drainMember(i int) (int, bool) {
 	m := r.members[i]
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return 0, false
+	}
+	m.draining = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.draining = false
+		m.mu.Unlock()
+	}()
+
 	svc := r.Member(i)
 	replayed := 0
 	for {
@@ -402,7 +493,15 @@ func (r *Replicated) drainMember(i int) (int, bool) {
 		h := m.hints[0]
 		m.mu.Unlock()
 
-		if err := applyHint(svc, h); err != nil {
+		// Bounded like every member call: a member that answers neither
+		// success nor error must not wedge the probe path. A replay that
+		// timed out may still apply later; the head is not popped, so the
+		// next drain replays it again — puts and deletes are idempotent to
+		// re-apply, and duplicate sends are absorbed by Receive's dedup
+		// window.
+		if _, err := boundedCall(r.opts.CallTimeout, func() (struct{}, error) {
+			return struct{}{}, applyHint(svc, h)
+		}); err != nil {
 			m.mu.Lock()
 			m.down = true
 			m.mu.Unlock()
@@ -410,7 +509,7 @@ func (r *Replicated) drainMember(i int) (int, bool) {
 		}
 
 		m.mu.Lock()
-		// The head is only ever removed here, so it is still h.
+		// Single drainer (the draining flag), so the head is still h.
 		m.hints = m.hints[1:]
 		m.drained++
 		m.mu.Unlock()
@@ -434,30 +533,35 @@ func (r *Replicated) DrainHints() int {
 	return total
 }
 
-// maybeProbe retries down members every ProbeEvery-th layer operation by
-// attempting a hint drain; a member whose queue drains dry comes back up.
+// maybeProbe retries down or hint-holding members every ProbeEvery-th layer
+// operation by attempting a hint drain; a member whose queue drains dry comes
+// back up (and back into fan-outs).
 func (r *Replicated) maybeProbe() {
 	if r.ops.Add(1)%int64(r.opts.ProbeEvery) != 0 {
 		return
 	}
 	for i, m := range r.members {
 		m.mu.Lock()
-		down := m.down
+		pending := m.down || len(m.hints) > 0
 		m.mu.Unlock()
-		if down {
+		if pending {
 			r.drainMember(i)
 		}
 	}
 }
 
-// live returns the indices of members not currently marked down.
+// live returns the indices of members eligible for direct calls: not marked
+// down and holding no queued hints. A member with a non-empty queue must
+// replay it before taking direct calls again — otherwise a later drain would
+// reapply an old hint over newer directly-written data — so it keeps taking
+// hints until a drain empties the queue.
 func (r *Replicated) live() []int {
 	idx := make([]int, 0, len(r.members))
 	for i, m := range r.members {
 		m.mu.Lock()
-		down := m.down
+		ok := !m.down && len(m.hints) == 0
 		m.mu.Unlock()
-		if !down {
+		if ok {
 			idx = append(idx, i)
 		}
 	}
@@ -478,23 +582,67 @@ type fanResult struct {
 	err     error
 }
 
-// fanout calls fn concurrently for every listed member and returns once need
-// members succeeded or every call returned — a hung member cannot stall an
-// operation that already has its quorum. Late results are discarded (their
-// goroutines still record health and hints via fn's own bookkeeping). onDone,
-// when non-nil, runs after every member call has returned; write paths use it
-// to hold their stripe lock for the full fan-out, so repairs never interleave
-// with a straggling write.
-func (r *Replicated) fanout(idxs []int, need int, fn func(i int, svc Service) fanResult, onDone func()) []fanResult {
+// errCallTimeout marks a member call that outlived CallTimeout. The abandoned
+// call keeps running in its goroutine (Service has no cancellation); its
+// eventual result is discarded.
+var errCallTimeout = errors.New("cloud: replicated: member call timed out")
+
+// boundedCall runs f, waiting at most d for it to return; d <= 0 waits
+// forever. On timeout the zero value and errCallTimeout are returned while f
+// keeps running detached — callers must not let f write to memory they keep
+// reading.
+func boundedCall[T any](d time.Duration, f func() (T, error)) (T, error) {
+	if d <= 0 {
+		return f()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := f()
+		ch <- result{v, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-timer.C:
+		var zero T
+		return zero, errCallTimeout
+	}
+}
+
+// fanout calls fn concurrently for every listed member — each call bounded by
+// CallTimeout — and returns once need members succeeded or every call came
+// back: a hung member can stall an operation by at most the timeout, never
+// forever. A failed (or timed-out) call records a failure mark and, when
+// onFail is non-nil, runs it with the member index before the result is
+// delivered — write paths queue their hint there, so the hint is on the queue
+// before the operation's stripe lock releases. onDone, when non-nil, runs
+// after every (bounded) member call has returned; write paths use it to hold
+// their stripe lock for the full fan-out, so repairs never interleave with a
+// straggling write.
+func (r *Replicated) fanout(idxs []int, need int, fn func(i int, svc Service) fanResult, onFail func(i int), onDone func()) []fanResult {
 	ch := make(chan fanResult, len(idxs))
 	var wg sync.WaitGroup
 	for _, i := range idxs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res := fn(i, r.Member(i))
-			if res.err != nil {
+			svc := r.Member(i)
+			res, err := boundedCall(r.opts.CallTimeout, func() (fanResult, error) {
+				res := fn(i, svc)
+				return res, res.err
+			})
+			res.idx, res.err = i, err
+			if err != nil {
 				r.markFailure(r.members[i])
+				if onFail != nil {
+					onFail(i)
+				}
 			} else {
 				r.markSuccess(r.members[i])
 			}
@@ -549,22 +697,18 @@ func (r *Replicated) PutBlob(name string, data []byte) (int, error) {
 	mu.Lock()
 
 	live := r.live()
-	for _, i := range r.downMembers() {
-		r.enqueueHint(r.members[i], hint{kind: hintPut, name: name, data: stored})
-	}
 	if len(live) < r.opts.WriteQuorum {
 		mu.Unlock()
 		r.stats.quorumFailures.Add(1)
 		return 0, fmt.Errorf("%w: %d of %d members reachable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
 	}
+	h := hint{kind: hintPut, name: name, data: stored}
+	r.hintSkipped(live, h)
 	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
 		v, err := svc.PutBlob(name, stored)
-		if err != nil {
-			r.enqueueHint(r.members[i], hint{kind: hintPut, name: name, data: stored})
-		}
-		return fanResult{idx: i, version: v, err: err}
-	}, mu.Unlock)
+		return fanResult{version: v, err: err}
+	}, func(i int) { r.hintFailed(i, h) }, mu.Unlock)
 	maxV, acks := 0, 0
 	for _, res := range results {
 		if res.err == nil {
@@ -582,24 +726,12 @@ func (r *Replicated) PutBlob(name string, data []byte) (int, error) {
 	return maxV, nil
 }
 
-// downMembers returns the indices of members currently marked down.
-func (r *Replicated) downMembers() []int {
-	idx := make([]int, 0, len(r.members))
-	for i, m := range r.members {
-		m.mu.Lock()
-		down := m.down
-		m.mu.Unlock()
-		if down {
-			idx = append(idx, i)
-		}
-	}
-	return idx
-}
-
 // GetBlob reads from a read quorum of members and returns the
 // maximum-version response, repairing stale members on the way out. A
 // member's "not found" counts as a response at version 0; the read fails
-// with ErrBlobNotFound only when the whole quorum agrees the blob is gone.
+// with ErrBlobNotFound only when the whole quorum agrees the blob is gone,
+// and with ErrQuorumFailed when fewer than R members answered error-free —
+// a minority answer must never shadow an acknowledged write.
 func (r *Replicated) GetBlob(name string) (Blob, error) {
 	r.maybeProbe()
 	live := r.live()
@@ -611,11 +743,11 @@ func (r *Replicated) GetBlob(name string) (Blob, error) {
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
 		b, err := svc.GetBlob(name)
 		if err == ErrBlobNotFound {
-			return fanResult{idx: i, blob: Blob{}}
+			return fanResult{blob: Blob{}}
 		}
-		return fanResult{idx: i, blob: b, err: err}
-	}, nil)
-	winner, responders, ok := mergeBlobResponses(results)
+		return fanResult{blob: b, err: err}
+	}, nil, nil)
+	winner, responders, ok := mergeBlobResponses(results, r.opts.ReadQuorum)
 	if !ok {
 		r.stats.quorumFailures.Add(1)
 		return Blob{}, fmt.Errorf("%w: %d of %d read responses", ErrQuorumFailed, len(responders), r.opts.ReadQuorum)
@@ -638,8 +770,9 @@ type blobResponse struct {
 // mergeBlobResponses picks the maximum-version response (ties break toward
 // the lowest member index, making conflict resolution deterministic) and
 // returns the full responder list for read repair. ok is false when fewer
-// responses than requested arrived error-free.
-func mergeBlobResponses(results []fanResult) (Blob, []blobResponse, bool) {
+// than need responses arrived error-free — the read quorum was not met, and
+// serving the partial answer could miss an acknowledged write.
+func mergeBlobResponses(results []fanResult, need int) (Blob, []blobResponse, bool) {
 	var responders []blobResponse
 	for _, res := range results {
 		if res.err != nil {
@@ -647,8 +780,8 @@ func mergeBlobResponses(results []fanResult) (Blob, []blobResponse, bool) {
 		}
 		responders = append(responders, blobResponse{idx: res.idx, blob: res.blob})
 	}
-	if len(responders) == 0 {
-		return Blob{}, nil, false
+	if len(responders) < need {
+		return Blob{}, responders, false
 	}
 	sort.Slice(responders, func(a, b int) bool { return responders[a].idx < responders[b].idx })
 	winner := responders[0].blob
@@ -699,7 +832,9 @@ func (r *Replicated) repairName(name string, winner Blob, targets []int) int {
 	puts := 0
 	for _, i := range targets {
 		svc := r.Member(i)
-		cur, err := svc.GetBlob(name)
+		cur, err := boundedCall(r.opts.CallTimeout, func() (Blob, error) {
+			return svc.GetBlob(name)
+		})
 		if err != nil && err != ErrBlobNotFound {
 			continue
 		}
@@ -708,8 +843,13 @@ func (r *Replicated) repairName(name string, winner Blob, targets []int) int {
 		if !stale {
 			continue
 		}
+		repairPut := func() (int, error) {
+			return boundedCall(r.opts.CallTimeout, func() (int, error) {
+				return svc.PutBlob(name, winner.Data)
+			})
+		}
 		for v := cur.Version; v < winner.Version; {
-			nv, err := svc.PutBlob(name, winner.Data)
+			nv, err := repairPut()
 			if err != nil || nv <= v {
 				break
 			}
@@ -717,7 +857,7 @@ func (r *Replicated) repairName(name string, winner Blob, targets []int) int {
 			puts++
 		}
 		if cur.Version == winner.Version {
-			if _, err := svc.PutBlob(name, winner.Data); err == nil {
+			if _, err := repairPut(); err == nil {
 				puts++
 			}
 		}
@@ -735,26 +875,22 @@ func (r *Replicated) DeleteBlob(name string) error {
 	mu.Lock()
 
 	live := r.live()
-	for _, i := range r.downMembers() {
-		r.enqueueHint(r.members[i], hint{kind: hintDelete, name: name})
-	}
 	if len(live) < r.opts.WriteQuorum {
 		mu.Unlock()
 		r.stats.quorumFailures.Add(1)
 		return fmt.Errorf("%w: %d of %d members reachable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
 	}
+	h := hint{kind: hintDelete, name: name}
+	r.hintSkipped(live, h)
 	// Deletes wait for every live member, not just W: with no tombstones, a
 	// straggling member could otherwise serve (or resurrect via repair) the
-	// blob to a read that follows the acknowledged delete. A member that
-	// hangs long enough to be marked down exits the live set and gets a hint.
+	// blob to a read that follows the acknowledged delete. Each member call
+	// is bounded by CallTimeout, so a member that hangs rather than errors
+	// delays the delete by at most the timeout and then gets a hint.
 	results := r.fanout(live, len(live), func(i int, svc Service) fanResult {
-		err := svc.DeleteBlob(name)
-		if err != nil {
-			r.enqueueHint(r.members[i], hint{kind: hintDelete, name: name})
-		}
-		return fanResult{idx: i, err: err}
-	}, mu.Unlock)
+		return fanResult{err: svc.DeleteBlob(name)}
+	}, func(i int) { r.hintFailed(i, h) }, mu.Unlock)
 	acks := 0
 	for _, res := range results {
 		if res.err == nil {
@@ -780,8 +916,8 @@ func (r *Replicated) ListBlobs(prefix string) ([]string, error) {
 	}
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
 		names, err := svc.ListBlobs(prefix)
-		return fanResult{idx: i, names: names, err: err}
-	}, nil)
+		return fanResult{names: names, err: err}
+	}, nil, nil)
 	seen := make(map[string]bool)
 	succ := 0
 	for _, res := range results {
@@ -827,21 +963,16 @@ func (r *Replicated) Send(msg Message) error {
 	defer mu.Unlock()
 
 	live := r.live()
-	for _, i := range r.downMembers() {
-		r.enqueueHint(r.members[i], hint{kind: hintSend, msg: msg})
-	}
 	if len(live) < r.opts.WriteQuorum {
 		r.stats.quorumFailures.Add(1)
 		return fmt.Errorf("%w: %d of %d members reachable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
 	}
+	h := hint{kind: hintSend, msg: msg}
+	r.hintSkipped(live, h)
 	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
-		err := svc.Send(msg)
-		if err != nil {
-			r.enqueueHint(r.members[i], hint{kind: hintSend, msg: msg})
-		}
-		return fanResult{idx: i, err: err}
-	}, nil)
+		return fanResult{err: svc.Send(msg)}
+	}, func(i int) { r.hintFailed(i, h) }, nil)
 	acks := 0
 	for _, res := range results {
 		if res.err == nil {
@@ -875,8 +1006,8 @@ func (r *Replicated) Receive(recipient string, max int) ([]Message, error) {
 	}
 	results := r.fanout(live, len(live), func(i int, svc Service) fanResult {
 		msgs, err := svc.Receive(recipient, 0)
-		return fanResult{idx: i, err: err, msgs: msgs}
-	}, nil)
+		return fanResult{err: err, msgs: msgs}
+	}, nil, nil)
 	succ := 0
 	var fresh []Message
 	r.boxMu.Lock()
@@ -988,28 +1119,22 @@ func (r *Replicated) PutBlobs(puts []BlobPut) ([]int, error) {
 	// returned, so repairs cannot interleave with a straggling batch write.
 	unlock := r.lockStripes(names)
 
-	hintAll := func(i int) {
-		for _, p := range copied {
-			r.enqueueHint(r.members[i], hint{kind: hintPut, name: p.Name, data: p.Data})
-		}
-	}
 	live := r.live()
-	for _, i := range r.downMembers() {
-		hintAll(i)
-	}
 	if len(live) < r.opts.WriteQuorum {
 		unlock()
 		r.stats.quorumFailures.Add(1)
 		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
 	}
+	hs := make([]hint, len(copied))
+	for i, p := range copied {
+		hs[i] = hint{kind: hintPut, name: p.Name, data: p.Data}
+	}
+	r.hintSkipped(live, hs...)
 	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
 		vers, err := PutBlobsVia(svc, copied)
-		if err != nil {
-			hintAll(i)
-		}
-		return fanResult{idx: i, vers: vers, err: err}
-	}, unlock)
+		return fanResult{vers: vers, err: err}
+	}, func(i int) { r.hintFailed(i, hs...) }, unlock)
 	versions := make([]int, len(copied))
 	acks := 0
 	for _, res := range results {
@@ -1050,8 +1175,8 @@ func (r *Replicated) GetBlobs(names []string) ([]Blob, error) {
 		if err == nil && len(blobs) != len(names) {
 			err = fmt.Errorf("cloud: replicated: member %d returned %d blobs for %d names", i, len(blobs), len(names))
 		}
-		return fanResult{idx: i, blobs: blobs, err: err}
-	}, nil)
+		return fanResult{blobs: blobs, err: err}
+	}, nil, nil)
 	merged, err := r.mergeBatch(names, results)
 	if err != nil {
 		return nil, err
@@ -1116,8 +1241,8 @@ func (r *Replicated) GetBlobsIf(gets []CondGet) ([]Blob, error) {
 		if err == nil && len(blobs) != len(gets) {
 			err = fmt.Errorf("cloud: replicated: member %d returned %d blobs for %d gets", i, len(blobs), len(gets))
 		}
-		return fanResult{idx: i, blobs: blobs, err: err}
-	}, nil)
+		return fanResult{blobs: blobs, err: err}
+	}, nil, nil)
 	var ok []fanResult
 	for _, res := range results {
 		if res.err == nil {
@@ -1167,7 +1292,10 @@ func (r *Replicated) AntiEntropy() (RepairReport, error) {
 	seen := make(map[string]bool)
 	reachable := make([]int, 0, len(live))
 	for _, i := range live {
-		names, err := r.Member(i).ListBlobs("")
+		svc := r.Member(i)
+		names, err := boundedCall(r.opts.CallTimeout, func() ([]string, error) {
+			return svc.ListBlobs("")
+		})
 		if err != nil {
 			r.markFailure(r.members[i])
 			continue
@@ -1211,7 +1339,10 @@ func (r *Replicated) repairShard(names []string, memberIdx []int, report *Repair
 	}
 	views := make([]view, 0, len(memberIdx))
 	for _, i := range memberIdx {
-		blobs, err := GetBlobsVia(r.Member(i), names)
+		svc := r.Member(i)
+		blobs, err := boundedCall(r.opts.CallTimeout, func() ([]Blob, error) {
+			return GetBlobsVia(svc, names)
+		})
 		if err != nil || len(blobs) != len(names) {
 			r.markFailure(r.members[i])
 			continue

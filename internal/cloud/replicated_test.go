@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -448,6 +449,192 @@ func TestReplicatedSwapMemberRecovery(t *testing.T) {
 		if _, err := d2.GetBlob(name); err != nil {
 			t.Fatalf("reopened member missing %s: %v", name, err)
 		}
+	}
+}
+
+// TestReplicatedGetBlobReadQuorum: a read that gathers fewer error-free
+// responses than R must fail with ErrQuorumFailed, never serve the minority
+// answer — with R=2 and one member erroring on reads, a single "not found"
+// response must not shadow an acknowledged write. (Regression: the merge
+// accepted any nonzero number of responses.)
+func TestReplicatedGetBlobReadQuorum(t *testing.T) {
+	faulty := NewFaulty(NewMemory(), FaultyOptions{})
+	r, err := NewReplicated([]Service{NewMemory(), faulty},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2, FailThreshold: 1 << 30, ProbeEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The member stays in the live set (reads queue no hints and the fail
+	// threshold is out of reach), but every read against it errors: only one
+	// of the two required responses can arrive.
+	faulty.SetMask(MaskReads)
+	if _, err := r.GetBlob("doc"); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("read with 1 of R=2 responses = %v, want ErrQuorumFailed", err)
+	}
+	faulty.SetMask(0)
+	if b, err := r.GetBlob("doc"); err != nil || string(b.Data) != "x" {
+		t.Fatalf("read after mask cleared: %+v %v", b, err)
+	}
+}
+
+// TestReplicatedConcurrentDrains races many drains of the same member: every
+// hint must be replayed exactly once. (Regression: two unserialized drains
+// could both replay the head and then both pop it, discarding the next hint
+// without ever applying it.)
+func TestReplicatedConcurrentDrains(t *testing.T) {
+	faulty := NewFaulty(NewMemory(), FaultyOptions{})
+	r, err := NewReplicated([]Service{NewMemory(), NewMemory(), faulty},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2, FailThreshold: 1, ProbeEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	faulty.SetDown(true)
+	const writes = 200
+	for i := 0; i < writes; i++ {
+		if _, err := r.PutBlob(fmt.Sprintf("doc-%03d", i), []byte(fmt.Sprintf("v-%03d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	faulty.SetDown(false)
+
+	var drained atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drained.Add(int64(r.DrainHints()))
+		}()
+	}
+	wg.Wait()
+	if drained.Load() != writes {
+		t.Fatalf("concurrent drains replayed %d hints, want exactly %d", drained.Load(), writes)
+	}
+	if st := r.ReplicationStats(); st.HintsDrained != writes {
+		t.Fatalf("drain accounting: %+v", st)
+	}
+	if r.MemberDown(2) {
+		t.Fatal("member still down after drains")
+	}
+	inner := faulty.Inner()
+	for i := 0; i < writes; i++ {
+		name := fmt.Sprintf("doc-%03d", i)
+		b, err := inner.GetBlob(name)
+		if err != nil || string(b.Data) != fmt.Sprintf("v-%03d", i) {
+			t.Fatalf("member missing %s after concurrent drains: %+v %v", name, b, err)
+		}
+	}
+}
+
+// TestReplicatedQuorumFailureQueuesNothing: an operation that fails its
+// quorum check fast must leave no trace — no hint may later materialize a
+// write the caller was told failed. (Regression: hints for down members were
+// queued before the quorum check.)
+func TestReplicatedQuorumFailureQueuesNothing(t *testing.T) {
+	f1 := NewFaulty(NewMemory(), FaultyOptions{})
+	f2 := NewFaulty(NewMemory(), FaultyOptions{})
+	r, err := NewReplicated([]Service{NewMemory(), f1, f2},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2, FailThreshold: 1, ProbeEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	f1.SetDown(true)
+	f2.SetDown(true)
+	// This write trips both members down. It fails quorum after fanning out,
+	// so its call-failure hints are the documented partial-application path.
+	if _, err := r.PutBlob("trip", []byte("x")); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("tripping write: %v", err)
+	}
+
+	before := r.ReplicationStats().HintsQueued
+	if _, err := r.PutBlob("ghost", []byte("boo")); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("put without quorum: %v", err)
+	}
+	if err := r.DeleteBlob("ghost"); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("delete without quorum: %v", err)
+	}
+	if err := r.Send(Message{From: "a", To: "bob", Body: []byte("hi")}); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("send without quorum: %v", err)
+	}
+	if _, err := r.PutBlobs([]BlobPut{{Name: "ghost-b", Data: []byte("boo")}}); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("batch put without quorum: %v", err)
+	}
+	if after := r.ReplicationStats().HintsQueued; after != before {
+		t.Fatalf("fast-failed operations queued %d hints", after-before)
+	}
+
+	f1.SetDown(false)
+	f2.SetDown(false)
+	r.DrainHints()
+	for i, m := range []*Faulty{f1, f2} {
+		if _, err := m.Inner().GetBlob("ghost"); err != ErrBlobNotFound {
+			t.Fatalf("failed write materialized on member %d: %v", i+1, err)
+		}
+	}
+}
+
+// hungDeleteService blocks DeleteBlob until released — the hung (not
+// erroring) provider of the delete path, which waits for every live member.
+type hungDeleteService struct {
+	*Memory
+	release chan struct{}
+}
+
+func (h *hungDeleteService) DeleteBlob(name string) error {
+	<-h.release
+	return h.Memory.DeleteBlob(name)
+}
+
+// TestReplicatedDeleteWithHungMember: DeleteBlob waits for all live members
+// (no tombstones), so a member that hangs rather than errors must be cut
+// loose by CallTimeout instead of blocking deletes forever — and must still
+// converge through its hint once it wakes up. (Regression: a hung call never
+// counted as a failure, so one hung provider blocked every delete.)
+func TestReplicatedDeleteWithHungMember(t *testing.T) {
+	hung := &hungDeleteService{Memory: NewMemory(), release: make(chan struct{})}
+	r, err := NewReplicated([]Service{NewMemory(), NewMemory(), hung},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2, CallTimeout: 50 * time.Millisecond, ProbeEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.DeleteBlob("doc") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("delete with hung member: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DeleteBlob blocked on the hung member past CallTimeout")
+	}
+
+	// The timed-out member earned a delete hint; once it wakes up, the drain
+	// (or its own dangling call) removes the blob it still holds.
+	close(hung.release)
+	r.DrainHints()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := hung.Memory.GetBlob("doc"); err == ErrBlobNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hung member never applied the delete after release")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
