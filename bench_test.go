@@ -9,10 +9,12 @@ package trustedcells
 // `go test -bench`.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"trustedcells/internal/sim"
+	"trustedcells/internal/storage"
 	"trustedcells/internal/tamper"
 	"trustedcells/internal/timeseries"
 )
@@ -342,6 +344,36 @@ func BenchmarkE15ReplicatedCloud(b *testing.B) {
 	}
 }
 
+// BenchmarkE18ReadFastPath measures experiment E18 at 10k documents: point,
+// hot-set, negative and mixed reads against the durable provider with the
+// fast path on (per-run bloom filters + shared block cache) vs off. The bloom
+// filters are expected to absorb ≥95% of negative run lookups — that is a
+// correctness property of the filter math, not a machine-speed number, so the
+// benchmark enforces it. EXPERIMENTS.md records the reference numbers.
+func BenchmarkE18ReadFastPath(b *testing.B) {
+	cfg := sim.DefaultE18Config()
+	const docs = 10_000
+	var fastOps, hotOps, negOps, skipPct float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE18Size(cfg, docs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BloomSkipPct < 95 {
+			b.Fatalf("bloom filters absorbed %.1f%% of negative lookups, want >=95%%", res.BloomSkipPct)
+		}
+		fastOps += res.FastPointOps
+		hotOps += res.FastHotOps
+		negOps += res.FastNegOps
+		skipPct += res.BloomSkipPct
+	}
+	n := float64(b.N)
+	b.ReportMetric(fastOps/n, "point-docs/sec")
+	b.ReportMetric(hotOps/n, "hot-docs/sec")
+	b.ReportMetric(negOps/n, "neg-docs/sec")
+	b.ReportMetric(skipPct/n, "bloom-skip-%")
+}
+
 // BenchmarkFig1Walkthrough runs the Figure 1 end-to-end architecture
 // walk-through (all flows of the paper's only figure).
 func BenchmarkFig1Walkthrough(b *testing.B) {
@@ -445,5 +477,84 @@ func BenchmarkCellIngestRead(b *testing.B) {
 		if _, err := cell.Read("owner", doc.ID, AccessContext{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPersistentKV opens an LSM engine in a fresh directory, loads n keys
+// through a small memtable (so the data lands in on-device runs, not RAM) and
+// flushes. The returned keys are the stored ones; missing() derives names
+// inside the stored key range that were never written.
+func benchPersistentKV(b *testing.B, n int) (*storage.PersistentKV, [][]byte) {
+	b.Helper()
+	kv, err := storage.OpenPersistentKV(b.TempDir(), storage.PersistentOptions{
+		MemtableBytes: 64 << 10,
+		MaxRuns:       64,
+		NoSync:        true,
+		Cache:         storage.NewBlockCache(8 << 20),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench/key-%07d", i))
+	}
+	const batch = 256
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		ops := make([]storage.Op, 0, batch)
+		for _, k := range keys[start:end] {
+			ops = append(ops, storage.Op{Key: k, Value: make([]byte, 256)})
+		}
+		if _, err := kv.ApplyNoSync(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := kv.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { kv.Crash() })
+	return kv, keys
+}
+
+// BenchmarkPersistentKVGet measures point lookups of present keys against the
+// on-device runs (bloom filters pass, block cache admits on read — steady
+// state is RAM-served for a working set within the cache budget).
+func BenchmarkPersistentKVGet(b *testing.B) {
+	kv, keys := benchPersistentKV(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := kv.Get(keys[i%len(keys)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v) == 0 {
+			b.Fatal("empty value")
+		}
+	}
+}
+
+// BenchmarkPersistentKVGetMiss measures point lookups of absent keys that
+// fall inside every run's key range, so the per-run bloom filters — not the
+// run bounds — must reject them. The steady state is zero device reads.
+func BenchmarkPersistentKVGetMiss(b *testing.B) {
+	kv, _ := benchPersistentKV(b, 10_000)
+	miss := make([][]byte, 4096)
+	for i := range miss {
+		miss[i] = []byte(fmt.Sprintf("bench/key-%07d.miss", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kv.Get(miss[i%len(miss)]); err != storage.ErrNotFound {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := kv.Stats()
+	if total := st.BloomSkips + st.CacheHits + st.RunReads; total > 0 {
+		b.ReportMetric(100*float64(st.BloomSkips)/float64(total), "bloom-skip-%")
 	}
 }

@@ -1,10 +1,11 @@
 // Command tcbench regenerates the evaluation suite defined in DESIGN.md: one
-// table per experiment (E1–E15) plus the Figure 1 architecture walk-through.
+// table per experiment (E1–E18) plus the Figure 1 architecture walk-through.
 //
 //	tcbench -experiment all                  # run everything
 //	tcbench -experiment e4                   # one experiment
 //	tcbench -run e15                         # filter flag: just the availability drill
-//	tcbench -run e9,e10,e11,e12,e13,e15 -quick   # CI-sized configurations
+//	tcbench -run e18                         # the durable read fast path
+//	tcbench -run e9,e10,e11,e12,e13,e15,e18 -quick   # CI-sized configurations
 //	tcbench -run e15 -quick -json -out BENCH_E15.json
 //	tcbench -gate ci/bench_baseline.json -in BENCH_E15.json
 //	tcbench -gate ci/bench_baseline.json -in BENCH_E13.json,BENCH_E15.json
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (e1..e15, fig1) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment id (e1..e18, fig1) or 'all'")
 		run        = flag.String("run", "", "comma-separated experiment filter (e.g. 'e11' or 'e9,e10,e11'); overrides -experiment")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		jsonOut    = flag.Bool("json", false, "emit JSON (tables + metrics) instead of rendered text")
@@ -215,7 +216,7 @@ func runGate(gateFile, inFiles, run string, quick bool) error {
 		}
 	} else {
 		if run == "" {
-			run = "e9,e10,e11,e12,e13,e15"
+			run = "e9,e10,e11,e12,e13,e15,e18"
 		}
 		if tables, err = runExperiments("", run, quick); err != nil {
 			return fmt.Errorf("gate: %w", err)

@@ -53,18 +53,61 @@ func (m *memberList) Set(v string) error {
 	return nil
 }
 
+func enabledWord(on bool) string {
+	if on {
+		return "enabled"
+	}
+	return "disabled"
+}
+
+// pct is a safe percentage (0 when the denominator is zero).
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// logEngineStats periodically logs the read fast-path counters so fleet
+// operators can see bloom skip and cache hit rates — aggregate and per shard
+// (shards with no run lookups yet are omitted). It runs for the life of the
+// process; the final counters are visible in the last tick before shutdown.
+func logEngineStats(d *cloud.Durable, every time.Duration) {
+	for range time.Tick(every) {
+		es := d.EngineStats()
+		hits, misses, resident := d.CacheStats()
+		consults := es.BloomSkips + es.CacheHits + es.RunReads
+		log.Printf("tccloud: engine: %d runs, %d gets, bloom skipped %d/%d run lookups (%.1f%%), cache %d hits / %d misses (%.1f%%, %d KiB resident), %d device reads",
+			es.Runs, es.Gets, es.BloomSkips, consults, pct(es.BloomSkips, consults),
+			hits, misses, pct(hits, hits+misses), resident>>10, es.RunReads)
+		var b strings.Builder
+		for i, st := range d.ShardStats() {
+			c := st.BloomSkips + st.CacheHits + st.RunReads
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %d:%.0f/%.0f", i,
+				pct(st.BloomSkips, c), pct(st.CacheHits, st.CacheHits+st.CacheMisses))
+		}
+		if b.Len() > 0 {
+			log.Printf("tccloud: per-shard bloom-skip%%/cache-hit%%:%s", b.String())
+		}
+	}
+}
+
 func main() {
 	var members memberList
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "address to listen on")
-		dataDir   = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
-		shards    = flag.Int("shards", cloud.DefaultShards, "shard count (fixed at first open for a durable store)")
-		adversary = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
-		rate      = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
-		seed      = flag.Int64("seed", 1, "adversary random seed")
-		quorumW   = flag.Int("quorum-w", 0, "with -member: write quorum W (default majority of the fleet)")
-		quorumR   = flag.Int("quorum-r", 0, "with -member: read quorum R (default majority of the fleet)")
-		syncEvery = flag.Duration("sync-every", 30*time.Second, "with -member: anti-entropy interval (0 disables the background pass)")
+		addr       = flag.String("addr", "127.0.0.1:7070", "address to listen on")
+		dataDir    = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
+		shards     = flag.Int("shards", cloud.DefaultShards, "shard count (fixed at first open for a durable store)")
+		adversary  = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
+		rate       = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
+		seed       = flag.Int64("seed", 1, "adversary random seed")
+		quorumW    = flag.Int("quorum-w", 0, "with -member: write quorum W (default majority of the fleet)")
+		quorumR    = flag.Int("quorum-r", 0, "with -member: read quorum R (default majority of the fleet)")
+		syncEvery  = flag.Duration("sync-every", 30*time.Second, "with -member: anti-entropy interval (0 disables the background pass)")
+		statsEvery = flag.Duration("stats-every", time.Minute, "with -data-dir: interval for logging per-shard cache/bloom hit rates (0 disables)")
 	)
 	flag.Var(&members, "member", "address of a further fleet member to dial (repeatable or comma-separated); the local store is member 0")
 	flag.Parse()
@@ -109,6 +152,11 @@ func main() {
 		if rec.DiscardedWALBytes > 0 || rec.DiscardedRunBytes > 0 {
 			log.Printf("tccloud: truncated torn tails: %d WAL bytes, %d run bytes",
 				rec.DiscardedWALBytes, rec.DiscardedRunBytes)
+		}
+		log.Printf("tccloud: read fast path: %d MiB block cache, bloom filters %s, compaction slots %d",
+			opts.CacheBytes>>20, enabledWord(opts.BloomBitsPerKey >= 0), opts.CompactionConcurrency)
+		if *statsEvery > 0 {
+			go logEngineStats(d, *statsEvery)
 		}
 		svc, durable = d, d
 	} else {

@@ -10,20 +10,21 @@ package cloud
 //
 // Layout: the store is FNV-striped over the same shardIndexOf hash as Memory,
 // one storage.PersistentKV per shard rooted at <dir>/shard-NNN. Blobs and
-// mailbox messages share each shard's WAL and run files under distinct key
-// prefixes:
+// mailbox messages share each shard's run files under distinct key prefixes:
 //
 //	b:<name>                    blob   → uvarint version, 8B stored-unixnano, data
 //	m:<recipient>\x00<seq hex>  mailbox→ binary Message (FIFO by zero-padded seq)
 //
-// Batched operations group their arguments by shard exactly like Memory, but
-// additionally apply the per-shard groups in parallel goroutines: each group
-// becomes one WAL record and one group-commit fsync, so a 256-blob PutBlobs
-// costs a handful of disk barriers instead of 256. Clients — including the
-// TCP server, which serves any Service — cannot tell the two backends apart
-// except by killing the process. DESIGN.md §8 documents the format and the
-// recovery protocol; experiment E13 measures the durability overhead and the
-// recovery time.
+// Batched operations group their arguments by shard exactly like Memory and
+// apply the per-shard groups in parallel goroutines. Durability comes from
+// the cross-shard commit journal (journal.go): the shard engines run without
+// WALs, and a whole batch is acknowledged after ONE fsync'd journal record —
+// not one barrier per shard — which is what holds E13's durability overhead
+// near the memory provider. Clients — including
+// the TCP server, which serves any Service — cannot tell the two backends
+// apart except by killing the process. DESIGN.md §8 documents the format and
+// the recovery protocol; experiment E13 measures the durability overhead and
+// the recovery time.
 
 import (
 	"encoding/binary"
@@ -53,14 +54,41 @@ type DurableOptions struct {
 	// MaxRuns bounds each shard's run count before background compaction.
 	// Defaults to 8; negative disables automatic compaction.
 	MaxRuns int
-	// NoSync skips the WAL fsync on commit — the ablation knob separating
-	// encoding cost from the disk barrier itself.
+	// NoSync skips the commit journal's fsync — the ablation knob separating
+	// encoding cost from the disk barrier itself. Journal records are still
+	// written, so recovery behaves identically; acknowledged writes merely
+	// depend on the OS having flushed them.
 	NoSync bool
+	// JournalBytes is the commit-journal size that triggers a checkpoint
+	// (flush every shard, reset the journal). Zero uses the default (32 MiB).
+	JournalBytes int64
+	// CacheBytes is the capacity of the block cache shared by every shard:
+	// run segments are kept in RAM after a read so hot point lookups never
+	// touch the device. Zero uses the default (16 MiB); negative disables the
+	// cache — the ablation knob of experiment E18.
+	CacheBytes int64
+	// BloomBitsPerKey sizes the per-run bloom filters that let negative
+	// lookups skip runs without a device read. Zero uses the storage-layer
+	// default (~10 bits/key); negative disables the filters.
+	BloomBitsPerKey int
+	// CompactionConcurrency bounds how many shards may compact at once. Zero
+	// uses the default (2); negative removes the bound.
+	CompactionConcurrency int
+	// CompactionBytesPerSec caps the combined compaction read+write bandwidth
+	// across all shards, smoothing foreground p99 during maintenance. Zero
+	// (the default) leaves the bandwidth unmetered.
+	CompactionBytesPerSec int64
 }
 
 // DefaultDurableOptions are sized for a provider shard serving a cell fleet.
 func DefaultDurableOptions() DurableOptions {
-	return DurableOptions{Shards: DefaultShards, MemtableBytes: 512 << 10, MaxRuns: 8}
+	return DurableOptions{
+		Shards:                DefaultShards,
+		MemtableBytes:         512 << 10,
+		MaxRuns:               8,
+		CacheBytes:            16 << 20,
+		CompactionConcurrency: 2,
+	}
 }
 
 // DurableRecovery aggregates what OpenDurable had to replay and repair across
@@ -71,8 +99,9 @@ type DurableRecovery struct {
 	// RecoveredRuns counts the run descriptors rebuilt by re-parsing the runs
 	// devices.
 	RecoveredRuns int
-	// ReplayedRecords / ReplayedOps count the WAL group-commit records and
-	// the individual operations re-applied to memtables.
+	// ReplayedRecords / ReplayedOps count the log records and the individual
+	// operations re-applied to memtables — commit-journal records (the
+	// store's own log) plus any legacy per-shard WAL records found on disk.
 	ReplayedRecords int
 	ReplayedOps     int
 	// DuplicateRecords counts WAL records skipped because their sequence had
@@ -82,6 +111,13 @@ type DurableRecovery struct {
 	// during recovery (unacknowledged appends, mid-flush crashes).
 	DiscardedWALBytes int64
 	DiscardedRunBytes int64
+	// JournalRecords / JournalOps count the commit-journal records replayed
+	// into the shard engines (the cross-shard durability log; each record is
+	// one acknowledged write batch). DiscardedJournalBytes is the journal's
+	// torn unacknowledged tail.
+	JournalRecords        int
+	JournalOps            int
+	DiscardedJournalBytes int64
 	// PendingMessages is the number of undelivered mailbox messages found.
 	PendingMessages int
 	// Elapsed is the wall-clock duration of OpenDurable, including all shard
@@ -91,11 +127,14 @@ type DurableRecovery struct {
 
 // durableShard is one stripe of the store. The write mutex serializes
 // read-modify-write sequences (version assignment, mailbox pops) per shard;
-// it is released before the group-commit wait so concurrent writers on the
-// same shard share fsyncs.
+// it is released before the journal commit so concurrent writers on the same
+// shard share the commit barrier. seq is the per-shard commit sequence: it is
+// assigned in the same critical section that applies the ops, so sorting
+// journal groups by (shard, seq) at replay reconstructs apply order.
 type durableShard struct {
 	wmu sync.Mutex
 	kv  *storage.PersistentKV
+	seq uint64
 }
 
 // Durable is the disk-backed implementation of Service, BatchService and
@@ -104,6 +143,17 @@ type Durable struct {
 	dir    string
 	shards []*durableShard
 	stats  counters
+
+	// cache and limiter are shared across every shard: one RAM budget for
+	// hot read segments, one maintenance-bandwidth budget for compactions.
+	cache   *storage.BlockCache
+	limiter *storage.CompactionLimiter
+
+	// journal is the cross-shard commit log — the store's actual durability
+	// barrier (see journal.go). Commits hold jmu for reading; a checkpoint
+	// (flush all shards, reset the journal) holds it exclusively.
+	jmu     sync.RWMutex
+	journal *commitJournal
 
 	// nextMsg is the global message sequence; restoreMessageSeq re-seeds it
 	// from the surviving mailbox keys on open.
@@ -132,8 +182,8 @@ const (
 
 // OpenDurable opens (creating if needed) a disk-backed provider rooted at
 // dir, recovering every shard in parallel: runs are re-parsed, torn tails
-// truncated, and WALs replayed, so the store resumes with exactly the state
-// covered by the last acknowledged commit of each shard.
+// truncated, and the commit journal replayed, so the store resumes with
+// exactly the state covered by the last acknowledged commit.
 func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	start := time.Now()
 	def := DefaultDurableOptions()
@@ -146,6 +196,12 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	if opts.MaxRuns == 0 {
 		opts.MaxRuns = def.MaxRuns
 	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = def.CacheBytes
+	}
+	if opts.CompactionConcurrency == 0 {
+		opts.CompactionConcurrency = def.CompactionConcurrency
+	}
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("cloud: open durable store: %w", err)
 	}
@@ -155,14 +211,24 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	}
 
 	d := &Durable{
-		dir:    dir,
-		shards: make([]*durableShard, shards),
-		now:    time.Now,
+		dir:     dir,
+		shards:  make([]*durableShard, shards),
+		now:     time.Now,
+		cache:   storage.NewBlockCache(opts.CacheBytes),
+		limiter: storage.NewCompactionLimiter(opts.CompactionBytesPerSec, opts.CompactionConcurrency),
 	}
 	popts := storage.PersistentOptions{
-		MemtableBytes: opts.MemtableBytes,
-		MaxRuns:       opts.MaxRuns,
-		NoSync:        opts.NoSync,
+		MemtableBytes:   opts.MemtableBytes,
+		MaxRuns:         opts.MaxRuns,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+		Cache:           d.cache,
+		Limiter:         d.limiter,
+		// The shard engines run without WALs: the cross-shard commit journal
+		// is the durability barrier (one fsync per batch instead of one per
+		// shard) AND the replay log (recoverJournal re-applies everything
+		// since the last checkpoint). A per-shard WAL would write every
+		// value a second time for no additional safety.
+		DisableWAL: true,
 	}
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
@@ -200,12 +266,99 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		d.recovery.DiscardedWALBytes += rec.DiscardedWALBytes
 		d.recovery.DiscardedRunBytes += rec.DiscardedRunBytes
 	}
+	if err := d.recoverJournal(dir, opts); err != nil {
+		_ = d.Close()
+		return nil, err
+	}
 	if err := d.restoreMessageSeq(); err != nil {
 		_ = d.Close()
 		return nil, err
 	}
 	d.recovery.Elapsed = time.Since(start)
 	return d, nil
+}
+
+// recoverJournal replays the commit journal into the shard engines and leaves
+// it empty. Replay is a blind idempotent rewrite in (shard, seq) order — the
+// order the live store applied the ops — so re-applying ops that an early
+// memtable flush already checkpointed into runs changes nothing, and the
+// journal alone restores every acknowledged write since the last checkpoint.
+// Afterwards every shard is flushed so the replayed state lives in fsync'd
+// runs, and the journal is reset.
+func (d *Durable) recoverJournal(dir string, opts DurableOptions) error {
+	j, err := openJournal(dir, opts.JournalBytes, opts.NoSync)
+	if err != nil {
+		return err
+	}
+	d.journal = j
+	groups, records, end, discarded, err := j.scan()
+	if err != nil {
+		return err
+	}
+	j.log.SeekHead(end)
+	d.recovery.JournalRecords = records
+	d.recovery.DiscardedJournalBytes = discarded
+	if records == 0 && discarded == 0 {
+		return nil // clean journal: nothing to replay, the extent is all zeros
+	}
+	sortForReplay(groups)
+	for _, g := range groups {
+		if g.shard < 0 || g.shard >= len(d.shards) {
+			return fmt.Errorf("cloud: journal group for shard %d of %d: %w",
+				g.shard, len(d.shards), storage.ErrCorrupt)
+		}
+		if _, err := d.shards[g.shard].kv.ApplyNoSync(g.ops); err != nil {
+			return fmt.Errorf("cloud: journal replay shard %d: %w", g.shard, err)
+		}
+		d.recovery.JournalOps += len(g.ops)
+	}
+	d.recovery.ReplayedRecords += records
+	d.recovery.ReplayedOps += d.recovery.JournalOps
+	if err := d.flushShards(); err != nil {
+		return err
+	}
+	return j.reset()
+}
+
+// commit makes one write batch durable: a single journal record, a single
+// (group-committed) fsync. Callers have already applied the ops to the shard
+// engines under their write mutexes; the groups carry the per-shard sequence
+// numbers assigned there. When the journal outgrows its threshold the
+// committer checkpoints: every shard's memtable is flushed into fsync'd runs
+// and the journal is reset, bounding both journal size and replay time.
+func (d *Durable) commit(groups []journalGroup) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	d.jmu.RLock()
+	checkpoint, err := d.journal.append(groups)
+	d.jmu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if checkpoint {
+		return d.checkpoint(false)
+	}
+	return nil
+}
+
+// checkpoint flushes every shard and resets the journal. It holds the
+// journal lock exclusively, so no commit is mid-append: every record that
+// survives the reset was appended after, and any write applied to a memtable
+// but not yet journaled is captured by the shard flush — either way each
+// acknowledged write stays durable. force skips the size re-check (used by
+// Flush; threshold-triggered commits re-check because a racing committer may
+// have already checkpointed).
+func (d *Durable) checkpoint(force bool) error {
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
+	if !force && d.journal.log.Head() <= d.journal.limit {
+		return nil
+	}
+	if err := d.flushShards(); err != nil {
+		return err
+	}
+	return d.journal.reset()
 }
 
 // loadOrInitMeta reads the committed shard count, writing it on first open.
@@ -283,39 +436,107 @@ func (d *Durable) shardFor(key string) *durableShard {
 	return d.shards[shardIndexOf(key, len(d.shards))]
 }
 
-// Close flushes every shard and closes the underlying files.
+// Close flushes every shard, retires the commit journal and closes the
+// underlying files.
 func (d *Durable) Close() error {
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
 	var err error
 	for _, s := range d.shards {
+		if s == nil {
+			continue
+		}
 		if e := s.kv.Close(); err == nil && e != nil {
+			err = e
+		}
+	}
+	if d.journal != nil {
+		// Every shard just flushed, so the journal's records are all covered
+		// by fsync'd runs: truncate it so the next open replays nothing (and
+		// re-preallocates its extent then).
+		if e := d.journal.retire(); err == nil && e != nil {
+			err = e
+		}
+		if e := d.journal.close(); err == nil && e != nil {
 			err = e
 		}
 	}
 	return err
 }
 
-// Crash simulates a process kill for recovery tests and experiments: all
-// shards are abandoned without flushes or final fsyncs, leaving the on-disk
-// state exactly as the workload's own commits wrote it.
+// Crash simulates a process kill for recovery tests and experiments: the
+// journal and all shards are abandoned without flushes or final fsyncs,
+// leaving the on-disk state exactly as the workload's own commits wrote it.
 func (d *Durable) Crash() {
 	for _, s := range d.shards {
 		s.kv.Crash()
 	}
+	if d.journal != nil {
+		_ = d.journal.close()
+	}
 }
 
 // Compact forces a full compaction of every shard (normally compaction runs
-// in the background when a shard exceeds MaxRuns).
+// in the background when a shard exceeds MaxRuns). Shards compact in
+// parallel goroutines; the shared CompactionLimiter bounds how many actually
+// run at once and holds their combined I/O to the configured bytes/sec
+// budget, so even a store-wide compaction cannot starve foreground traffic.
 func (d *Durable) Compact() error {
-	for i, s := range d.shards {
-		if err := s.kv.Compact(); err != nil {
-			return fmt.Errorf("cloud: compact shard %d: %w", i, err)
+	errs := make([]error, len(d.shards))
+	var wg sync.WaitGroup
+	for i := range d.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := d.shards[i].kv.Compact(); err != nil {
+				errs[i] = fmt.Errorf("cloud: compact shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush checkpoints every shard's memtable into a run and resets the commit
+// journal (used by experiments that want subsequent reads to exercise the
+// on-disk read path).
+func (d *Durable) Flush() error {
+	return d.checkpoint(true)
+}
+
+// flushShards checkpoints every shard's memtable into fsync'd runs, in
+// parallel: each flush pays its own run write and device sync, and serializing
+// 32 of them would put the whole fan-out back on the commit path whenever a
+// checkpoint triggers.
+func (d *Durable) flushShards() error {
+	errs := make([]error, len(d.shards))
+	var wg sync.WaitGroup
+	for i := range d.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := d.shards[i].kv.Flush(); err != nil {
+				errs[i] = fmt.Errorf("cloud: flush shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // EngineStats sums the storage-engine counters across shards (flushes,
-// compactions, resident runs) — the observability hook for E13 and tests.
+// compactions, resident runs, bloom skips, block-cache hits and misses) —
+// the observability hook for E13/E18 and tests.
 func (d *Durable) EngineStats() storage.Stats {
 	var total storage.Stats
 	for _, s := range d.shards {
@@ -325,11 +546,33 @@ func (d *Durable) EngineStats() storage.Stats {
 		total.Deletes += st.Deletes
 		total.Flushes += st.Flushes
 		total.Compactions += st.Compactions
+		total.BloomSkips += st.BloomSkips
+		total.CacheHits += st.CacheHits
+		total.CacheMisses += st.CacheMisses
+		total.RunReads += st.RunReads
 		total.Runs += st.Runs
 		total.MemtableLen += st.MemtableLen
 		total.MemtableB += st.MemtableB
 	}
 	return total
+}
+
+// ShardStats returns each shard's storage-engine counters (index = shard
+// number): the per-shard view of EngineStats, for operators watching cache
+// hit and bloom skip rates shard by shard.
+func (d *Durable) ShardStats() []storage.Stats {
+	out := make([]storage.Stats, len(d.shards))
+	for i, s := range d.shards {
+		out[i] = s.kv.Stats()
+	}
+	return out
+}
+
+// CacheStats reports the shared block cache's cumulative hits and misses and
+// its resident bytes (zeros when the cache is disabled).
+func (d *Durable) CacheStats() (hits, misses, bytes int64) {
+	hits, misses = d.cache.Stats()
+	return hits, misses, d.cache.Bytes()
 }
 
 // --- key and value codecs ---------------------------------------------------
@@ -458,11 +701,32 @@ func (s *durableShard) currentVersion(name string) (int, error) {
 	return v, err
 }
 
+// applyShard runs ops against one shard under its write mutex and returns
+// the journal group to commit: the per-shard sequence is assigned in the same
+// critical section that applies the ops, so replay order equals apply order.
+func (d *Durable) applyShard(si int, ops []storage.Op) (journalGroup, error) {
+	s := d.shards[si]
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return d.applyShardLocked(si, ops)
+}
+
+func (d *Durable) applyShardLocked(si int, ops []storage.Op) (journalGroup, error) {
+	s := d.shards[si]
+	g := journalGroup{shard: si, seq: s.seq, ops: ops}
+	s.seq++
+	if _, err := s.kv.ApplyNoSync(ops); err != nil {
+		return journalGroup{}, err
+	}
+	return g, nil
+}
+
 // PutBlob stores data under name durably and returns the new version. The
-// write is acknowledged only after its WAL record is part of an fsync'd group
-// commit.
+// write is acknowledged only after its journal record is part of an fsync'd
+// group commit.
 func (d *Durable) PutBlob(name string, data []byte) (int, error) {
-	s := d.shardFor(name)
+	si := shardIndexOf(name, len(d.shards))
+	s := d.shards[si]
 	s.wmu.Lock()
 	cur, err := s.currentVersion(name)
 	if err != nil {
@@ -470,7 +734,7 @@ func (d *Durable) PutBlob(name string, data []byte) (int, error) {
 		return 0, err
 	}
 	version := cur + 1
-	seq, err := s.kv.ApplyNoSync([]storage.Op{{
+	g, err := d.applyShardLocked(si, []storage.Op{{
 		Key:   blobKey(name),
 		Value: encodeBlobValue(version, d.clock(), data),
 	}})
@@ -478,7 +742,7 @@ func (d *Durable) PutBlob(name string, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := s.kv.WaitDurable(seq); err != nil {
+	if err := d.commit([]journalGroup{g}); err != nil {
 		return 0, err
 	}
 	d.stats.puts.Add(1)
@@ -505,14 +769,12 @@ func (d *Durable) GetBlob(name string) (Blob, error) {
 
 // DeleteBlob removes a blob (idempotent).
 func (d *Durable) DeleteBlob(name string) error {
-	s := d.shardFor(name)
-	s.wmu.Lock()
-	seq, err := s.kv.ApplyNoSync([]storage.Op{{Key: blobKey(name), Delete: true}})
-	s.wmu.Unlock()
+	si := shardIndexOf(name, len(d.shards))
+	g, err := d.applyShard(si, []storage.Op{{Key: blobKey(name), Delete: true}})
 	if err != nil {
 		return err
 	}
-	if err := s.kv.WaitDurable(seq); err != nil {
+	if err := d.commit([]journalGroup{g}); err != nil {
 		return err
 	}
 	d.stats.deletes.Add(1)
@@ -540,7 +802,8 @@ func (d *Durable) ListBlobs(prefix string) ([]string, error) {
 
 // Send delivers a message to the recipient's durable mailbox.
 func (d *Durable) Send(msg Message) error {
-	s := d.shardFor(msg.To)
+	si := shardIndexOf(msg.To, len(d.shards))
+	s := d.shards[si]
 	s.wmu.Lock()
 	seq := d.nextMsg.Add(1)
 	msg.Seq = seq
@@ -550,12 +813,12 @@ func (d *Durable) Send(msg Message) error {
 	if msg.Sent.IsZero() {
 		msg.Sent = d.clock()
 	}
-	walSeq, err := s.kv.ApplyNoSync([]storage.Op{{Key: msgKey(msg.To, seq), Value: encodeMessage(msg)}})
+	g, err := d.applyShardLocked(si, []storage.Op{{Key: msgKey(msg.To, seq), Value: encodeMessage(msg)}})
 	s.wmu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := s.kv.WaitDurable(walSeq); err != nil {
+	if err := d.commit([]journalGroup{g}); err != nil {
 		return err
 	}
 	d.stats.sends.Add(1)
@@ -567,7 +830,8 @@ func (d *Durable) Send(msg Message) error {
 // not re-deliver the popped messages.
 func (d *Durable) Receive(recipient string, max int) ([]Message, error) {
 	d.stats.receives.Add(1)
-	s := d.shardFor(recipient)
+	si := shardIndexOf(recipient, len(d.shards))
+	s := d.shards[si]
 	s.wmu.Lock()
 	prefix := msgPrefix(recipient)
 	var msgs []Message
@@ -594,12 +858,12 @@ func (d *Durable) Receive(recipient string, max int) ([]Message, error) {
 		s.wmu.Unlock()
 		return nil, nil
 	}
-	seq, err := s.kv.ApplyNoSync(dels)
+	g, err := d.applyShardLocked(si, dels)
 	s.wmu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.kv.WaitDurable(seq); err != nil {
+	if err := d.commit([]journalGroup{g}); err != nil {
 		// The pop is already applied to the live store; swallowing the
 		// messages now would lose them outright. Hand them to the caller
 		// with the error: delivery succeeded, only the durability of the
@@ -619,18 +883,21 @@ func (d *Durable) Stats() Stats {
 // --- BatchService -----------------------------------------------------------
 
 // PutBlobs stores every blob durably and returns the new version of each in
-// argument order. Writes are grouped by shard — each group is one WAL record
-// and one fsync — and the groups run in parallel across shards.
+// argument order. Writes are grouped by shard and applied to the shard
+// engines in parallel goroutines (version assignment and memtable insert,
+// no I/O barrier), then the WHOLE batch is acknowledged by one fsync'd
+// commit-journal record — the single disk barrier of the call.
 func (d *Durable) PutBlobs(puts []BlobPut) ([]int, error) {
 	versions := make([]int, len(puts))
 	groups := groupKeysByShard(len(puts), len(d.shards), func(i int) string { return puts[i].Name })
+	jgs := make([]journalGroup, len(groups))
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
 	for gi := range groups {
 		wg.Add(1)
 		go func(gi int) {
 			defer wg.Done()
-			errs[gi] = d.putGroup(groups[gi], puts, versions)
+			jgs[gi], errs[gi] = d.putGroup(groups[gi], puts, versions)
 		}(gi)
 	}
 	wg.Wait()
@@ -639,28 +906,36 @@ func (d *Durable) PutBlobs(puts []BlobPut) ([]int, error) {
 			return nil, err
 		}
 	}
+	if err := d.commit(jgs); err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, p := range puts {
+		bytes += int64(len(p.Data))
+	}
+	d.stats.puts.Add(int64(len(puts)))
+	d.stats.bytesStored.Add(bytes)
 	return versions, nil
 }
 
-// putGroup applies one shard's slice of a batched upload as a single durable
-// WAL record.
-func (d *Durable) putGroup(g shardGroup, puts []BlobPut, versions []int) error {
+// putGroup applies one shard's slice of a batched upload and returns its
+// journal group; the caller commits all groups as one record.
+func (d *Durable) putGroup(g shardGroup, puts []BlobPut, versions []int) (journalGroup, error) {
 	s := d.shards[g.shard]
 	now := d.clock()
 	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	ops := make([]storage.Op, 0, len(g.indices))
 	// A batch may put the same name twice; track intra-batch versions so the
 	// second occurrence sees the first.
 	batchVersions := make(map[string]int)
-	var bytes int64
 	for _, i := range g.indices {
 		name := puts[i].Name
 		cur, seen := batchVersions[name]
 		if !seen {
 			var err error
 			if cur, err = s.currentVersion(name); err != nil {
-				s.wmu.Unlock()
-				return err
+				return journalGroup{}, err
 			}
 		}
 		version := cur + 1
@@ -670,19 +945,8 @@ func (d *Durable) putGroup(g shardGroup, puts []BlobPut, versions []int) error {
 			Key:   blobKey(name),
 			Value: encodeBlobValue(version, now, puts[i].Data),
 		})
-		bytes += int64(len(puts[i].Data))
 	}
-	seq, err := s.kv.ApplyNoSync(ops)
-	s.wmu.Unlock()
-	if err != nil {
-		return err
-	}
-	if err := s.kv.WaitDurable(seq); err != nil {
-		return err
-	}
-	d.stats.puts.Add(int64(len(g.indices)))
-	d.stats.bytesStored.Add(bytes)
-	return nil
+	return d.applyShardLocked(g.shard, ops)
 }
 
 // GetBlobs returns the latest version of each named blob in argument order;

@@ -1,6 +1,6 @@
 // Package sim is the experiment harness of the repository. The paper being a
 // vision paper with no evaluation section, DESIGN.md defines a synthetic
-// evaluation suite (experiments E1–E15 plus the Figure 1 walk-through), each
+// evaluation suite (experiments E1–E18 plus the Figure 1 walk-through), each
 // substantiating one architectural claim. This package implements every
 // experiment as a pure function returning a Table, so the same code backs the
 // Go benchmarks, the tcbench command line and EXPERIMENTS.md.
@@ -103,7 +103,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15", "e18", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -137,6 +137,8 @@ func Run(id string) (*Table, error) {
 		return RunE13(DefaultE13Config())
 	case "e15":
 		return RunE15(DefaultE15Config())
+	case "e18":
+		return RunE18(DefaultE18Config())
 	case "fig1":
 		return RunFig1()
 	default:
@@ -171,6 +173,12 @@ func RunQuick(id string) (*Table, error) {
 		cfg := DefaultE15Config()
 		cfg.CatalogSizes = []int{10_000}
 		return RunE15(cfg)
+	case "e18":
+		// Both gated scale points: the 10k headline metrics and the 100k
+		// recovery ceiling.
+		cfg := DefaultE18Config()
+		cfg.CatalogSizes = []int{10_000, 100_000}
+		return RunE18(cfg)
 	default:
 		return Run(id)
 	}

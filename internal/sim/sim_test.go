@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(ids))
 	}
 }
 
@@ -428,6 +428,38 @@ func TestRunE15Shape(t *testing.T) {
 	}
 	if table.Metrics["replication_overhead"] <= 0 || table.Metrics["degraded_overhead"] <= 0 {
 		t.Fatalf("overhead metrics missing: %v", table.Metrics)
+	}
+}
+
+// TestRunE18Shape verifies the read fast-path experiment at a reduced scale.
+// Throughput is machine-dependent, but the fast-path mechanics are not: the
+// bloom filters must absorb nearly every negative lookup (the filter math
+// puts false positives around 1%), the warmed block cache must serve the hot
+// set, and the store must come back readable after the recovery kill.
+func TestRunE18Shape(t *testing.T) {
+	cfg := DefaultE18Config()
+	cfg.CatalogSizes = []int{2_000}
+	cfg.PointReads = 1_500
+	cfg.Shards = 8
+	table, err := RunE18(cfg)
+	if err != nil {
+		t.Fatalf("RunE18: %v", err)
+	}
+	// Three rows (memory, durable, durable-fastpath) per catalog size.
+	if len(table.Rows) != 3*len(cfg.CatalogSizes) {
+		t.Fatalf("rows = %d\n%s", len(table.Rows), table)
+	}
+	if table.Metrics["fastpath_docs_per_sec"] <= 0 || table.Metrics["neg_docs_per_sec"] <= 0 {
+		t.Fatalf("throughput metrics missing: %v\n%s", table.Metrics, table)
+	}
+	if pct := table.Metrics["bloom_skip_pct"]; pct < 95 {
+		t.Fatalf("bloom filters must absorb negative lookups, got %.1f%%\n%s", pct, table)
+	}
+	if pct := table.Metrics["cache_hit_pct"]; pct < 90 {
+		t.Fatalf("warmed cache must serve the hot set, got %.1f%%\n%s", pct, table)
+	}
+	if rpm := table.Metrics["device_reads_per_miss"]; rpm > 0.2 {
+		t.Fatalf("negative lookups still reach the device: %.3f reads/miss\n%s", rpm, table)
 	}
 }
 

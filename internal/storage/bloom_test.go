@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+func TestBloomFilterNoFalseNegatives(t *testing.T) {
+	f := newBloomFilter(500, defaultBloomBitsPerKey)
+	for i := 0; i < 500; i++ {
+		f.add([]byte(fmt.Sprintf("key-%05d", i)))
+	}
+	for i := 0; i < 500; i++ {
+		if !f.mayContain([]byte(fmt.Sprintf("key-%05d", i))) {
+			t.Fatalf("false negative for key-%05d", i)
+		}
+	}
+}
+
+func TestBloomFilterNilAnswersTrue(t *testing.T) {
+	var f *bloomFilter
+	if !f.mayContain([]byte("anything")) {
+		t.Fatal("nil filter must conservatively answer true")
+	}
+}
+
+func TestBloomProbesClamp(t *testing.T) {
+	if k := bloomProbes(1); k != 1 {
+		t.Fatalf("bloomProbes(1) = %d, want 1", k)
+	}
+	if k := bloomProbes(10); k < 5 || k > 8 {
+		t.Fatalf("bloomProbes(10) = %d, want ~7", k)
+	}
+	if k := bloomProbes(1000); k != 30 {
+		t.Fatalf("bloomProbes(1000) = %d, want clamp at 30", k)
+	}
+}
+
+func TestBloomFilterFalsePositiveRate(t *testing.T) {
+	const n = 1000
+	f := newBloomFilter(n, defaultBloomBitsPerKey)
+	for i := 0; i < n; i++ {
+		f.add([]byte(fmt.Sprintf("present-%05d", i)))
+	}
+	fp, probes := 0, 20000
+	for i := 0; i < probes; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("absent-%05d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(probes); rate > 0.03 {
+		t.Fatalf("false positive rate %.2f%% exceeds 3%% at %d bits/key", 100*rate, defaultBloomBitsPerKey)
+	}
+}
+
+// TestBloomFilterShardConditionedFPRate is the regression test for the
+// FNV/FNV correlation: the cloud layer stripes keys over shards by FNV-32a,
+// so the keys sharing an engine — and the misses probing it — are exactly
+// those agreeing on FNV mod the shard count. Before bloomHash gained its
+// avalanche finalizer, that conditioning leaked into the probe positions and
+// inflated same-shard false positives to ~5.7% (vs ~0.7% unconditioned).
+func TestBloomFilterShardConditionedFPRate(t *testing.T) {
+	const shards = 32
+	shardOf := func(key string) int {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(key))
+		return int(h.Sum32() % uint32(shards))
+	}
+	var keys [][]byte
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("e18/blob-%07d", i)
+		if shardOf(name) == 7 {
+			keys = append(keys, []byte("b:"+name))
+		}
+	}
+	f := newBloomFilter(len(keys), defaultBloomBitsPerKey)
+	for _, k := range keys {
+		f.add(k)
+	}
+	fp, probes := 0, 0
+	for i := 0; i < 400000 && probes < 10000; i++ {
+		name := fmt.Sprintf("e18/blob-%07d.miss", i)
+		if shardOf(name) != 7 {
+			continue
+		}
+		probes++
+		if f.mayContain([]byte("b:" + name)) {
+			fp++
+		}
+	}
+	if probes < 1000 {
+		t.Fatalf("only %d same-shard probes generated", probes)
+	}
+	if rate := float64(fp) / float64(probes); rate > 0.03 {
+		t.Fatalf("same-shard false positive rate %.2f%% exceeds 3%% — the bloom hash correlates with the shard hash", 100*rate)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	f := newBloomFilter(100, defaultBloomBitsPerKey)
+	for i := 0; i < 100; i++ {
+		f.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	wire := f.marshal(nil)
+	got, n, err := unmarshalBloom(wire)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d bytes", n, len(wire))
+	}
+	if got.k != f.k || len(got.bits) != len(f.bits) {
+		t.Fatalf("round trip changed shape: k %d→%d bits %d→%d", f.k, got.k, len(f.bits), len(got.bits))
+	}
+	for i := range f.bits {
+		if f.bits[i] != got.bits[i] {
+			t.Fatalf("bit array differs at byte %d", i)
+		}
+	}
+}
+
+func TestBloomMarshalNilFilter(t *testing.T) {
+	var f *bloomFilter
+	wire := f.marshal(nil)
+	got, n, err := unmarshalBloom(wire)
+	if err != nil || got != nil || n != len(wire) {
+		t.Fatalf("nil round trip: filter=%v n=%d err=%v", got, n, err)
+	}
+}
+
+func TestBloomUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, _, err := unmarshalBloom(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty input accepted: %v", err)
+	}
+	// k=0 with a non-empty bit array is contradictory.
+	if _, _, err := unmarshalBloom([]byte{0, 2, 0xAA, 0xBB}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-probe filter accepted: %v", err)
+	}
+	// Truncated bit array.
+	f := newBloomFilter(100, 10)
+	f.add([]byte("x"))
+	wire := f.marshal(nil)
+	if _, _, err := unmarshalBloom(wire[:len(wire)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated filter accepted: %v", err)
+	}
+}

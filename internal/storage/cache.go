@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// A BlockCache keeps recently read run segments in RAM so hot point lookups
+// never touch the device. It sits above the runs device: run.get consults it
+// before issuing a ReadAt and admits the segment it loaded on a miss.
+//
+// Keys are (run id, segment offset). Run ids are process-unique (allocated by
+// writeRun/openRun, never reused), so a compaction that replaces the run
+// stack only needs to drop the replaced ids — freshly written runs can never
+// collide with stale cached segments.
+//
+// The cache is striped: each stripe is an independent LRU list under its own
+// mutex, so concurrent readers on different keys rarely contend. One cache is
+// typically shared by every shard of a cloud.Durable store, which is why the
+// capacity is a single global budget rather than per-engine.
+type BlockCache struct {
+	stripes   [cacheStripes]cacheStripe
+	perStripe int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+}
+
+const cacheStripes = 16
+
+type cacheKey struct {
+	runID uint64
+	off   int64
+}
+
+type cacheItem struct {
+	key  cacheKey
+	data []byte
+}
+
+type cacheStripe struct {
+	mu    sync.Mutex
+	items map[cacheKey]*list.Element
+	lru   *list.List // front = most recently used
+	bytes int64
+}
+
+// NewBlockCache creates a cache holding at most capacity bytes of segment
+// data (split evenly across the stripes). A non-positive capacity returns
+// nil, and a nil *BlockCache is a valid always-miss cache — every method is
+// nil-safe — so callers can pass options through unconditionally.
+func NewBlockCache(capacity int64) *BlockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &BlockCache{perStripe: capacity / cacheStripes}
+	if c.perStripe < 1 {
+		c.perStripe = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].items = make(map[cacheKey]*list.Element)
+		c.stripes[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *BlockCache) stripeFor(k cacheKey) *cacheStripe {
+	// Fibonacci hashing over the id/offset pair spreads sequential segment
+	// offsets of one run across stripes.
+	h := (k.runID*0x9e3779b97f4a7c15 + uint64(k.off)) * 0x9e3779b97f4a7c15
+	return &c.stripes[h>>59&(cacheStripes-1)]
+}
+
+// get returns the cached segment for (runID, off), or nil. The returned
+// buffer is shared with other readers and with the cache itself: callers must
+// treat it as read-only and copy anything they hand out.
+func (c *BlockCache) get(runID uint64, off int64) []byte {
+	if c == nil {
+		return nil
+	}
+	k := cacheKey{runID: runID, off: off}
+	s := c.stripeFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).data
+}
+
+// put admits a freshly read segment, evicting least-recently-used segments
+// from its stripe until the stripe is back under budget. The cache takes
+// ownership of data — the caller must not write to it afterwards. Segments
+// larger than a stripe's whole budget are not admitted.
+func (c *BlockCache) put(runID uint64, off int64, data []byte) {
+	if c == nil || int64(len(data)) > c.perStripe {
+		return
+	}
+	k := cacheKey{runID: runID, off: off}
+	s := c.stripeFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		// Raced with another reader admitting the same segment; keep the
+		// incumbent so earlier get() callers still share a live buffer.
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.lru.PushFront(&cacheItem{key: k, data: data})
+	s.bytes += int64(len(data))
+	for s.bytes > c.perStripe {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			break
+		}
+		it := oldest.Value.(*cacheItem)
+		s.lru.Remove(oldest)
+		delete(s.items, it.key)
+		s.bytes -= int64(len(it.data))
+	}
+}
+
+// invalidateRuns drops every cached segment belonging to the given run ids.
+// Compaction calls this after installing a new generation, so readers can
+// never see segments of a run that is no longer in the stack.
+func (c *BlockCache) invalidateRuns(ids []uint64) {
+	if c == nil || len(ids) == 0 {
+		return
+	}
+	drop := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			it := el.Value.(*cacheItem)
+			if drop[it.key.runID] {
+				s.lru.Remove(el)
+				delete(s.items, it.key)
+				s.bytes -= int64(len(it.data))
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns the cumulative hit/miss counters of the cache.
+func (c *BlockCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Bytes returns the resident segment bytes (used by tests and diagnostics).
+func (c *BlockCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+		total += c.stripes[i].bytes
+		c.stripes[i].mu.Unlock()
+	}
+	return total
+}

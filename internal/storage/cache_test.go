@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBlockCacheHitMissCounters(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	if got := c.get(1, 0); got != nil {
+		t.Fatalf("empty cache returned %v", got)
+	}
+	c.put(1, 0, []byte("segment-a"))
+	if got := c.get(1, 0); !bytes.Equal(got, []byte("segment-a")) {
+		t.Fatalf("get after put = %q", got)
+	}
+	if got := c.get(1, 64); got != nil {
+		t.Fatalf("different offset hit: %q", got)
+	}
+	if got := c.get(2, 0); got != nil {
+		t.Fatalf("different run hit: %q", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+	if c.Bytes() != int64(len("segment-a")) {
+		t.Fatalf("resident bytes = %d", c.Bytes())
+	}
+}
+
+func TestBlockCacheEvictsLRUUnderBudget(t *testing.T) {
+	// All keys below share runID so they land in predictable stripes; use a
+	// capacity small enough that a stripe holds ~2 segments.
+	c := NewBlockCache(cacheStripes * 100)
+	seg := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 60) }
+	for i := 0; i < 64; i++ {
+		c.put(uint64(i), 0, seg(i))
+	}
+	if got := c.Bytes(); got > cacheStripes*100 {
+		t.Fatalf("resident bytes %d exceed capacity %d", got, cacheStripes*100)
+	}
+	// At 60 bytes per segment and a 100-byte stripe budget, each stripe keeps
+	// exactly its most recent entry — some early segments must be gone.
+	resident := 0
+	for i := 0; i < 64; i++ {
+		if c.get(uint64(i), 0) != nil {
+			resident++
+		}
+	}
+	if resident == 0 || resident == 64 {
+		t.Fatalf("resident = %d of 64, want eviction of some but not all", resident)
+	}
+}
+
+func TestBlockCacheOversizedSegmentNotAdmitted(t *testing.T) {
+	c := NewBlockCache(cacheStripes * 16)
+	c.put(1, 0, make([]byte, 64)) // 64 > 16-byte stripe budget
+	if c.Bytes() != 0 {
+		t.Fatalf("oversized segment admitted: %d bytes resident", c.Bytes())
+	}
+}
+
+func TestBlockCachePutKeepsIncumbent(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	c.put(1, 0, []byte("first"))
+	incumbent := c.get(1, 0)
+	c.put(1, 0, []byte("racer"))
+	if got := c.get(1, 0); !bytes.Equal(got, incumbent) {
+		t.Fatalf("racing put replaced the incumbent buffer: %q", got)
+	}
+	if c.Bytes() != int64(len("first")) {
+		t.Fatalf("double admission counted twice: %d bytes", c.Bytes())
+	}
+}
+
+func TestBlockCacheInvalidateRuns(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	for off := int64(0); off < 4; off++ {
+		c.put(7, off*128, []byte("run7"))
+		c.put(8, off*128, []byte("run8"))
+	}
+	c.invalidateRuns([]uint64{7})
+	for off := int64(0); off < 4; off++ {
+		if c.get(7, off*128) != nil {
+			t.Fatalf("segment of invalidated run 7 still cached at %d", off*128)
+		}
+		if c.get(8, off*128) == nil {
+			t.Fatalf("segment of surviving run 8 dropped at %d", off*128)
+		}
+	}
+	if c.Bytes() != 4*int64(len("run8")) {
+		t.Fatalf("resident bytes after invalidation = %d", c.Bytes())
+	}
+}
+
+func TestBlockCacheNilIsSafe(t *testing.T) {
+	if NewBlockCache(0) != nil || NewBlockCache(-5) != nil {
+		t.Fatal("non-positive capacity must return nil")
+	}
+	var c *BlockCache
+	c.put(1, 0, []byte("x"))
+	if c.get(1, 0) != nil {
+		t.Fatal("nil cache returned data")
+	}
+	c.invalidateRuns([]uint64{1})
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil stats = %d/%d", h, m)
+	}
+	if c.Bytes() != 0 {
+		t.Fatal("nil cache has resident bytes")
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package storage
+
+import "syscall"
+
+// Datasync flushes the file's data — and the metadata required to read it
+// back, such as a grown size — without forcing unrelated metadata like
+// timestamps through the filesystem journal. On a file whose blocks are
+// already allocated (the commit journal preallocates for exactly this
+// reason) a data-only barrier is measurably cheaper than a full fsync.
+func (d *FileDevice) Datasync() error {
+	for {
+		err := syscall.Fdatasync(int(d.f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

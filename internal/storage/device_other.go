@@ -1,0 +1,6 @@
+//go:build !linux
+
+package storage
+
+// Datasync falls back to a full fsync on platforms without fdatasync.
+func (d *FileDevice) Datasync() error { return d.f.Sync() }

@@ -132,7 +132,7 @@ func TestAppendLogBoundsCorruptLength(t *testing.T) {
 
 func TestWriteRunSurfacesPartialWrite(t *testing.T) {
 	dev := &faultDevice{inner: NewMemDevice(0), shortWriteBy: 1}
-	_, err := writeRun(dev, []memEntry{{key: []byte("k"), value: []byte("v")}})
+	_, err := writeRun(dev, []memEntry{{key: []byte("k"), value: []byte("v")}}, 0)
 	if !errors.Is(err, io.ErrShortWrite) {
 		t.Fatalf("partial run write not surfaced: %v", err)
 	}
@@ -143,7 +143,7 @@ func TestOpenRunRejectsDamage(t *testing.T) {
 	r, err := writeRun(dev, []memEntry{
 		{key: []byte("alpha"), value: []byte("1")},
 		{key: []byte("beta"), value: []byte("2")},
-	})
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestOpenRunRejectsDamage(t *testing.T) {
 	if reopened.count != 2 || !bytes.Equal(reopened.first, []byte("alpha")) || !bytes.Equal(reopened.last, []byte("beta")) {
 		t.Fatalf("rebuilt descriptor: %+v", reopened)
 	}
-	e, ok, err := reopened.get(dev, []byte("beta"))
+	e, ok, err := reopened.get(dev, nil, []byte("beta"), nil)
 	if err != nil || !ok || string(e.value) != "2" {
 		t.Fatalf("get through rebuilt index: %v %v %v", e, ok, err)
 	}

@@ -31,6 +31,16 @@ type Stats struct {
 	Deletes     int64
 	Flushes     int64
 	Compactions int64
+	// BloomSkips counts run lookups answered "definitely absent" by the
+	// per-run bloom filter — each one is a device read that never happened.
+	BloomSkips int64
+	// CacheHits / CacheMisses count block-cache lookups on the read path
+	// (only engines configured with a cache record them).
+	CacheHits   int64
+	CacheMisses int64
+	// RunReads counts device reads issued by point lookups: the residue the
+	// bloom filters and the block cache failed to absorb.
+	RunReads    int64
 	Runs        int
 	MemtableLen int
 	MemtableB   int
@@ -51,8 +61,11 @@ type KV struct {
 // kvCounters backs Stats with atomics: Get counts itself under the engine's
 // read lock, so many readers may increment concurrently.
 type kvCounters struct {
-	puts, gets, deletes  atomic.Int64
-	flushes, compactions atomic.Int64
+	puts, gets, deletes    atomic.Int64
+	flushes, compactions   atomic.Int64
+	bloomSkips             atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+	runReads               atomic.Int64
 }
 
 // NewKV creates an engine over dev with the given options.
@@ -109,7 +122,7 @@ func (kv *KV) Get(key []byte) ([]byte, error) {
 	}
 	// Newest run first: later runs shadow earlier ones.
 	for i := len(kv.runs) - 1; i >= 0; i-- {
-		e, ok, err := kv.runs[i].get(kv.dev, key)
+		e, ok, err := kv.runs[i].get(kv.dev, nil, key, &kv.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +130,8 @@ func (kv *KV) Get(key []byte) ([]byte, error) {
 			if e.tombstone {
 				return nil, ErrNotFound
 			}
-			return e.value, nil
+			// Copy on return: the entry's value may alias a shared buffer.
+			return append([]byte(nil), e.value...), nil
 		}
 	}
 	return nil, ErrNotFound
@@ -199,6 +213,10 @@ func (kv *KV) Stats() Stats {
 		Deletes:     kv.stats.deletes.Load(),
 		Flushes:     kv.stats.flushes.Load(),
 		Compactions: kv.stats.compactions.Load(),
+		BloomSkips:  kv.stats.bloomSkips.Load(),
+		CacheHits:   kv.stats.cacheHits.Load(),
+		CacheMisses: kv.stats.cacheMisses.Load(),
+		RunReads:    kv.stats.runReads.Load(),
 		Runs:        len(kv.runs),
 		MemtableLen: kv.mem.count(),
 		MemtableB:   kv.mem.size(),
@@ -251,7 +269,7 @@ func (kv *KV) flushLocked() error {
 	if kv.mem.count() == 0 {
 		return nil
 	}
-	r, err := writeRun(kv.dev, kv.mem.all())
+	r, err := writeRun(kv.dev, kv.mem.all(), 0)
 	if err != nil {
 		return err
 	}
@@ -278,7 +296,7 @@ func (kv *KV) compactLocked() error {
 		kv.mem = newMemtable()
 		return nil
 	}
-	r, err := writeRun(kv.dev, live)
+	r, err := writeRun(kv.dev, live, 0)
 	if err != nil {
 		return err
 	}
@@ -291,14 +309,16 @@ func (kv *KV) compactLocked() error {
 // slice where newer versions shadow older ones. Tombstones are retained so
 // callers can decide whether to drop them.
 func (kv *KV) mergedEntriesLocked(start, end []byte) ([]memEntry, error) {
-	return mergeEntries(kv.dev, kv.runs, kv.mem, start, end)
+	return mergeEntries(kv.dev, kv.runs, kv.mem.snapshot(start, end), start, end)
 }
 
-// mergeEntries merges a run stack (oldest first) and a memtable into a single
-// sorted slice where newer versions shadow older ones. Tombstones are
-// retained so callers can decide whether to drop them. It is shared by the
-// volatile KV and the crash-safe PersistentKV.
-func mergeEntries(dev Device, runs []*run, mem *memtable, start, end []byte) ([]memEntry, error) {
+// mergeEntries merges a run stack (oldest first) and a slice of memtable
+// entries (already restricted to [start, end)) into a single sorted slice
+// where newer versions shadow older ones. Tombstones are retained so callers
+// can decide whether to drop them. It is shared by the volatile KV and the
+// crash-safe PersistentKV; the latter passes a memtable snapshot so the merge
+// can run outside the engine lock.
+func mergeEntries(dev Device, runs []*run, mem []memEntry, start, end []byte) ([]memEntry, error) {
 	// Collect sources oldest → newest so that later inserts overwrite.
 	byKey := make(map[string]memEntry)
 	var order [][]byte
@@ -314,7 +334,9 @@ func mergeEntries(dev Device, runs []*run, mem *memtable, start, end []byte) ([]
 			return nil, err
 		}
 	}
-	mem.scan(start, end, func(e memEntry) bool { add(e); return true })
+	for _, e := range mem {
+		add(e)
+	}
 	out := make([]memEntry, 0, len(order))
 	for _, k := range order {
 		out = append(out, byKey[string(k)])

@@ -373,7 +373,7 @@ func TestRunSparseIndexLookups(t *testing.T) {
 			value: []byte(fmt.Sprintf("val-%d", i)),
 		})
 	}
-	r, err := writeRun(dev, entries)
+	r, err := writeRun(dev, entries, 0)
 	if err != nil {
 		t.Fatalf("writeRun: %v", err)
 	}
@@ -382,28 +382,28 @@ func TestRunSparseIndexLookups(t *testing.T) {
 	}
 	// Every present key is found, absent (odd) keys are not.
 	for i := 0; i < 100; i++ {
-		e, ok, err := r.get(dev, []byte(fmt.Sprintf("key-%04d", i*2)))
+		e, ok, err := r.get(dev, nil, []byte(fmt.Sprintf("key-%04d", i*2)), nil)
 		if err != nil || !ok {
 			t.Fatalf("present key %d not found: %v", i, err)
 		}
 		if string(e.value) != fmt.Sprintf("val-%d", i) {
 			t.Fatalf("value mismatch for %d", i)
 		}
-		if _, ok, _ := r.get(dev, []byte(fmt.Sprintf("key-%04d", i*2+1))); ok {
+		if _, ok, _ := r.get(dev, nil, []byte(fmt.Sprintf("key-%04d", i*2+1)), nil); ok {
 			t.Fatalf("absent key %d reported found", i*2+1)
 		}
 	}
 	// Out-of-range keys short-circuit.
-	if _, ok, _ := r.get(dev, []byte("aaa")); ok {
+	if _, ok, _ := r.get(dev, nil, []byte("aaa"), nil); ok {
 		t.Fatal("key below range found")
 	}
-	if _, ok, _ := r.get(dev, []byte("zzz")); ok {
+	if _, ok, _ := r.get(dev, nil, []byte("zzz"), nil); ok {
 		t.Fatal("key above range found")
 	}
 }
 
 func TestWriteRunEmpty(t *testing.T) {
-	if _, err := writeRun(NewMemDevice(0), nil); err == nil {
+	if _, err := writeRun(NewMemDevice(0), nil, 0); err == nil {
 		t.Fatal("empty run accepted")
 	}
 }

@@ -105,6 +105,16 @@ func (l *AppendLog) Scan(fn func(off int64, payload []byte) bool) error {
 // Sync flushes the underlying device.
 func (l *AppendLog) Sync() error { return l.dev.Sync() }
 
+// SeekHead repositions the append head. Recovery uses it on logs whose device
+// extent is preallocated past the last record (the cloud commit journal):
+// resuming at the device size would leave a gap of zeros between the last
+// record and the next append.
+func (l *AppendLog) SeekHead(off int64) {
+	l.mu.Lock()
+	l.head = off
+	l.mu.Unlock()
+}
+
 // Reset discards every record and rewinds the head to zero. It is how the
 // persistent engine retires a write-ahead log whose content has been
 // checkpointed into a durable run. The device must support truncation.

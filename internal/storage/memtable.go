@@ -93,3 +93,16 @@ func (m *memtable) scan(start, end []byte, fn func(memEntry) bool) {
 
 // all returns the sorted entries; the caller must not modify them.
 func (m *memtable) all() []memEntry { return m.entries }
+
+// snapshot returns a copy of the entry headers with key in [start, end).
+// The copied headers stay valid after the lock protecting the memtable is
+// released: put replaces entries wholesale with freshly allocated key/value
+// slices, so the bytes a snapshot references are never mutated.
+func (m *memtable) snapshot(start, end []byte) []memEntry {
+	var out []memEntry
+	m.scan(start, end, func(e memEntry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -47,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,6 +66,29 @@ type PersistentOptions struct {
 	// a process crash only if the OS flushed them — the ablation knob for
 	// measuring what durability itself costs.
 	NoSync bool
+	// DisableWAL skips the write-ahead log entirely: batches go straight to
+	// the memtable and a crash loses everything since the last Flush. For
+	// engines embedded under an external commit log (the cloud.Durable
+	// journal) that replays acknowledged writes itself, the per-engine WAL is
+	// a redundant second copy of every value; disabling it removes that
+	// write amplification. WaitDurable degrades to a no-op — only Flush makes
+	// state durable.
+	DisableWAL bool
+	// BloomBitsPerKey sizes the per-run bloom filters written into run
+	// footers. Zero uses the default sizing (~10 bits/key, ~1% false
+	// positives); negative disables the filters — the ablation knob for
+	// measuring what the negative-lookup fast path is worth.
+	BloomBitsPerKey int
+	// Cache, when non-nil, serves point lookups from RAM: run segments are
+	// admitted on read and dropped when a compaction replaces their run. One
+	// cache is typically shared by many engines (the shards of a
+	// cloud.Durable store) under a single capacity budget.
+	Cache *BlockCache
+	// Limiter, when non-nil, paces compactions: concurrent compactions are
+	// bounded and their combined I/O is held to a bytes/sec budget. Shared
+	// across engines so background maintenance of a whole shard fleet cannot
+	// saturate the device.
+	Limiter *CompactionLimiter
 }
 
 // DefaultPersistentOptions mirror DefaultOptions with durable commits.
@@ -115,15 +139,15 @@ type PersistentKV struct {
 	dir  string
 	opts PersistentOptions
 
-	mu      sync.RWMutex
-	runsDev *FileDevice
-	gen     uint64
-	wal     *AppendLog
-	walDev  *FileDevice
-	mem     *memtable
-	runs    []*run // oldest first; newer runs shadow older ones
-	seq     uint64 // last WAL sequence number assigned
-	closed  bool
+	mu     sync.RWMutex
+	runsH  *runsHandle
+	gen    uint64
+	wal    *AppendLog
+	walDev *FileDevice
+	mem    *memtable
+	runs   []*run // oldest first; newer runs shadow older ones
+	seq    uint64 // last WAL sequence number assigned
+	closed bool
 
 	compacting bool
 	compactErr error
@@ -132,6 +156,34 @@ type PersistentKV struct {
 	gc       groupCommitter
 	stats    kvCounters
 	recovery RecoveryInfo
+}
+
+// runsHandle reference-counts the runs device so readers can finish against
+// a generation file that a concurrent compaction install has already
+// replaced. The handle is created with one owner reference; readers acquire
+// under p.mu and release when done, the owner reference is dropped when the
+// generation is swapped out (or the store closes), and whoever drops the
+// count to zero closes the file. Acquire always happens under p.mu while the
+// handle is still the current one, so the count can never resurrect from
+// zero.
+type runsHandle struct {
+	dev  *FileDevice
+	refs atomic.Int64
+}
+
+func newRunsHandle(dev *FileDevice) *runsHandle {
+	h := &runsHandle{dev: dev}
+	h.refs.Store(1)
+	return h
+}
+
+func (h *runsHandle) acquire() { h.refs.Add(1) }
+
+func (h *runsHandle) release() error {
+	if h.refs.Add(-1) == 0 {
+		return h.dev.Close()
+	}
+	return nil
 }
 
 // groupCommitter amortizes WAL fsyncs across concurrent writers: one writer
@@ -218,7 +270,7 @@ func OpenPersistentKV(dir string, opts PersistentOptions) (*PersistentKV, error)
 		return nil, err
 	}
 	if err := p.recoverWAL(); err != nil {
-		p.runsDev.Close()
+		_ = p.runsH.release()
 		return nil, err
 	}
 	p.gc.init(p.seq)
@@ -228,7 +280,7 @@ func OpenPersistentKV(dir string, opts PersistentOptions) (*PersistentKV, error)
 	if p.mem.size() >= p.opts.MemtableBytes {
 		if err := p.flushLocked(); err != nil {
 			p.walDev.Close()
-			p.runsDev.Close()
+			_ = p.runsH.release()
 			return nil, err
 		}
 	}
@@ -286,7 +338,7 @@ func (p *PersistentKV) recoverRuns() error {
 			return err
 		}
 	}
-	p.runsDev = dev
+	p.runsH = newRunsHandle(dev)
 	p.runs = runs
 	p.recovery.RecoveredRuns = len(runs)
 	for _, r := range runs {
@@ -468,9 +520,11 @@ func (p *PersistentKV) ApplyNoSync(ops []Op) (uint64, error) {
 		return 0, ErrClosed
 	}
 	seq := p.seq + 1
-	if _, err := p.wal.Append(encodeWALRecord(seq, ops)); err != nil {
-		p.mu.Unlock()
-		return 0, err
+	if !p.opts.DisableWAL {
+		if _, err := p.wal.Append(encodeWALRecord(seq, ops)); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
 	}
 	p.seq = seq
 	for _, op := range ops {
@@ -496,28 +550,44 @@ func (p *PersistentKV) ApplyNoSync(ops []Op) (uint64, error) {
 // on stable storage (or was checkpointed into a run). A zero sequence — the
 // result of an empty batch — returns immediately, as does a NoSync store.
 func (p *PersistentKV) WaitDurable(seq uint64) error {
-	if seq == 0 || p.opts.NoSync {
+	if seq == 0 || p.opts.NoSync || p.opts.DisableWAL {
 		return nil
 	}
 	return p.gc.wait(seq, p.walDev.Sync)
 }
 
 // Get returns the value stored under key, or ErrNotFound.
+//
+// Device I/O happens outside p.mu: the run stack is snapshotted under the
+// read lock (runs are immutable and the slice is only ever swapped or
+// appended), the runs device is pinned through its reference count, and the
+// lock is released before any run is consulted — so flushes, writers, and
+// compaction installs never stall behind a reader's disk access. Both hit
+// paths copy on return: memtable entries are replaced in place by writers,
+// and run lookups may alias block-cache buffers shared with other readers.
 func (p *PersistentKV) Get(key []byte) ([]byte, error) {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	if p.closed {
+		p.mu.RUnlock()
 		return nil, ErrClosed
 	}
 	p.stats.gets.Add(1)
 	if e, ok := p.mem.get(key); ok {
-		if e.tombstone {
+		tombstone := e.tombstone
+		value := append([]byte(nil), e.value...)
+		p.mu.RUnlock()
+		if tombstone {
 			return nil, ErrNotFound
 		}
-		return append([]byte(nil), e.value...), nil
+		return value, nil
 	}
-	for i := len(p.runs) - 1; i >= 0; i-- {
-		e, ok, err := p.runs[i].get(p.runsDev, key)
+	runs := p.runs
+	h := p.runsH
+	h.acquire()
+	p.mu.RUnlock()
+	defer h.release()
+	for i := len(runs) - 1; i >= 0; i-- {
+		e, ok, err := runs[i].get(h.dev, p.opts.Cache, key, &p.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -525,7 +595,7 @@ func (p *PersistentKV) Get(key []byte) ([]byte, error) {
 			if e.tombstone {
 				return nil, ErrNotFound
 			}
-			return e.value, nil
+			return append([]byte(nil), e.value...), nil
 		}
 	}
 	return nil, ErrNotFound
@@ -533,13 +603,21 @@ func (p *PersistentKV) Get(key []byte) ([]byte, error) {
 
 // Scan calls fn for every live key/value pair with key in [start, end) in
 // ascending key order (nil end scans to the last key) until fn returns false.
+// Like Get, the merge reads the devices outside p.mu against a snapshot of
+// the run stack and the memtable.
 func (p *PersistentKV) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	if p.closed {
+		p.mu.RUnlock()
 		return ErrClosed
 	}
-	merged, err := mergeEntries(p.runsDev, p.runs, p.mem, start, end)
+	runs := p.runs
+	mem := p.mem.snapshot(start, end)
+	h := p.runsH
+	h.acquire()
+	p.mu.RUnlock()
+	defer h.release()
+	merged, err := mergeEntries(h.dev, runs, mem, start, end)
 	if err != nil {
 		return err
 	}
@@ -571,18 +649,20 @@ func (p *PersistentKV) flushLocked() error {
 	if p.mem.count() == 0 {
 		return nil
 	}
-	r, err := writeRun(p.runsDev, p.mem.all())
+	r, err := writeRun(p.runsH.dev, p.mem.all(), p.opts.BloomBitsPerKey)
 	if err != nil {
 		return err
 	}
-	if err := p.runsDev.Sync(); err != nil {
+	if err := p.runsH.dev.Sync(); err != nil {
 		return fmt.Errorf("storage: sync runs: %w", err)
 	}
 	p.runs = append(p.runs, r)
 	p.mem = newMemtable()
 	p.stats.flushes.Add(1)
-	if err := p.wal.Reset(); err != nil {
-		return err
+	if !p.opts.DisableWAL {
+		if err := p.wal.Reset(); err != nil {
+			return err
+		}
 	}
 	// Everything appended so far is covered by the run the device just
 	// fsync'd, so pending group commits can be released without touching the
@@ -636,11 +716,18 @@ func (p *PersistentKV) Compact() error {
 // against an immutable snapshot of the run list (runs only ever get appended
 // by flushes), so reads and writes keep flowing during a compaction. The
 // lock is retaken only to fold in any runs flushed meanwhile and swap the
-// generation. Crash-safety ordering: the new file's content is fsync'd
+// generation. When a Limiter is configured the compaction first queues for a
+// concurrency slot and then paces its reads and writes against the shared
+// bytes/sec budget (only outside the lock — the fold-in under the lock is
+// never throttled). Crash-safety ordering: the new file's content is fsync'd
 // before the rename, the rename is made durable by a directory fsync before
 // the old generation is unlinked, so at every instant one complete
 // generation is on disk. The memtable and WAL are untouched — they hold
-// strictly newer data.
+// strictly newer data. Readers that snapshotted the old generation keep it
+// alive through the runs handle's reference count; the replaced runs' cached
+// segments are dropped from the block cache after the install (ids are never
+// reused, so a stale segment can never be served for a new run — the drop
+// just reclaims the RAM promptly).
 func (p *PersistentKV) compact() error {
 	defer func() {
 		p.mu.Lock()
@@ -648,23 +735,35 @@ func (p *PersistentKV) compact() error {
 		p.mu.Unlock()
 	}()
 
+	release := p.opts.Limiter.acquire()
+	defer release()
+
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		return ErrClosed
 	}
 	snapshot := append([]*run(nil), p.runs...)
-	dev := p.runsDev
-	newGen := p.gen + 1
-	p.mu.RUnlock()
 	if len(snapshot) <= 1 {
+		p.mu.RUnlock()
 		return nil
 	}
+	h := p.runsH
+	h.acquire()
+	newGen := p.gen + 1
+	p.mu.RUnlock()
+	defer h.release()
+	dev := h.dev
 
-	merged, err := mergeEntries(dev, snapshot, newMemtable(), nil, nil)
+	readBytes := 0
+	for _, r := range snapshot {
+		readBytes += r.length
+	}
+	merged, err := mergeEntries(dev, snapshot, nil, nil, nil)
 	if err != nil {
 		return err
 	}
+	p.opts.Limiter.throttle(readBytes)
 	live := merged[:0]
 	for _, e := range merged {
 		if !e.tombstone {
@@ -684,10 +783,11 @@ func (p *PersistentKV) compact() error {
 	}
 	var newRuns []*run
 	if len(live) > 0 {
-		r, err := writeRun(newDev, live)
+		r, err := writeRun(newDev, live, p.opts.BloomBitsPerKey)
 		if err != nil {
 			return abort(err)
 		}
+		p.opts.Limiter.throttle(int(r.extent()))
 		newRuns = []*run{r}
 	}
 	if err := newDev.Sync(); err != nil {
@@ -709,7 +809,7 @@ func (p *PersistentKV) compact() error {
 			p.mu.Unlock()
 			return abort(err)
 		}
-		nr, err := writeRun(newDev, entries)
+		nr, err := writeRun(newDev, entries, p.opts.BloomBitsPerKey)
 		if err != nil {
 			p.mu.Unlock()
 			return abort(err)
@@ -731,15 +831,27 @@ func (p *PersistentKV) compact() error {
 	// not yet persisted.
 	syncDir(p.dir)
 	oldPath := filepath.Join(p.dir, p.runsFileName(p.gen))
-	p.runsDev = newDev
+	oldIDs := make([]uint64, 0, len(snapshot)+len(suffix))
+	for _, r := range snapshot {
+		oldIDs = append(oldIDs, r.id)
+	}
+	for _, r := range suffix {
+		oldIDs = append(oldIDs, r.id)
+	}
+	oldH := p.runsH
+	p.runsH = newRunsHandle(newDev)
 	p.runs = newRuns
 	p.gen = newGen
 	p.stats.compactions.Add(1)
 	p.mu.Unlock()
 
-	dev.Close()
+	// Drop the owner reference of the replaced generation; in-flight readers
+	// that pinned it finish their lookups and the last one closes the file
+	// (already unlinked below — the kernel keeps it alive until then).
+	_ = oldH.release()
 	_ = os.Remove(oldPath)
 	syncDir(p.dir)
+	p.opts.Cache.invalidateRuns(oldIDs)
 	return nil
 }
 
@@ -761,6 +873,10 @@ func (p *PersistentKV) Stats() Stats {
 		Deletes:     p.stats.deletes.Load(),
 		Flushes:     p.stats.flushes.Load(),
 		Compactions: p.stats.compactions.Load(),
+		BloomSkips:  p.stats.bloomSkips.Load(),
+		CacheHits:   p.stats.cacheHits.Load(),
+		CacheMisses: p.stats.cacheMisses.Load(),
+		RunReads:    p.stats.runReads.Load(),
 		Runs:        len(p.runs),
 		MemtableLen: p.mem.count(),
 		MemtableB:   p.mem.size(),
@@ -785,7 +901,9 @@ func (p *PersistentKV) Close() error {
 	if e := p.walDev.Close(); err == nil && e != nil {
 		err = e
 	}
-	if e := p.runsDev.Close(); err == nil && e != nil {
+	// Drop the owner reference; a reader still in flight closes the device
+	// when it finishes.
+	if e := p.runsH.release(); err == nil && e != nil {
 		err = e
 	}
 	return err
@@ -805,5 +923,5 @@ func (p *PersistentKV) Crash() {
 	p.mu.Unlock()
 	p.wg.Wait()
 	_ = p.walDev.Close()
-	_ = p.runsDev.Close()
+	_ = p.runsH.release()
 }

@@ -1,0 +1,47 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPersistentKVDisableWAL pins the contract of the WAL-less mode used by
+// the cloud commit journal: writes are invisible to recovery until Flush, the
+// WAL file stays empty (no double write), and flushed state survives a crash.
+func TestPersistentKVDisableWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := PersistentOptions{MemtableBytes: 1 << 20, DisableWAL: true}
+	p, err := OpenPersistentKV(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply([]Op{{Key: []byte("flushed"), Value: []byte("yes")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply([]Op{{Key: []byte("unflushed"), Value: []byte("gone")}}); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(filepath.Join(dir, walFile)); err != nil || info.Size() != 0 {
+		t.Fatalf("WAL file written despite DisableWAL: size=%v err=%v", info, err)
+	}
+	p.Crash()
+
+	p, err = OpenPersistentKV(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if rec := p.Recovery(); rec.WALRecords != 0 || rec.RecoveredRuns == 0 {
+		t.Fatalf("recovery = %+v, want runs and no WAL records", rec)
+	}
+	if v, err := p.Get([]byte("flushed")); err != nil || string(v) != "yes" {
+		t.Fatalf("flushed key: %q %v", v, err)
+	}
+	if _, err := p.Get([]byte("unflushed")); err != ErrNotFound {
+		t.Fatalf("unflushed key survived without a WAL: %v", err)
+	}
+}

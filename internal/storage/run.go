@@ -6,44 +6,81 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync/atomic"
 )
 
 // A run is an immutable sorted block of entries written sequentially to the
 // device. Runs are the on-flash representation of flushed memtables and of
 // compaction outputs.
 //
-// On-device layout of a run:
+// On-device layout of a run (current format, "footered"):
 //
 //	[4] crc32 over the body
-//	[4] body length
-//	body: repeated entries
-//	  [uvarint] key length
+//	[4] bit 31: footer-present flag; bits 0..30: body length
+//	body: repeated prefix-compressed entries
+//	  [uvarint] shared key prefix length (0 at restart points)
+//	  [uvarint] unshared key suffix length
 //	  [uvarint] value length (0 for tombstones)
 //	  [1]       flags (bit 0 = tombstone)
-//	  [k]       key
+//	  [suffix]  unshared key bytes
 //	  [v]       value
+//	footer:
+//	  [4] crc32 over the footer payload
+//	  [4] footer payload length
+//	  payload: entry count, first/last key, bloom filter, sparse index
+//
+// Keys share their prefix with the previous entry except at restart points —
+// every sparseEvery-th entry, exactly where the sparse index points — so any
+// indexed segment can be decoded standalone. The footer carries everything
+// openRun needs to rebuild the in-RAM descriptor (count, key range, bloom
+// filter, sparse index) without re-parsing the body: recovery reads the body
+// once to verify its checksum and never decodes an entry.
+//
+// Runs written before the footer format — bit 31 of the length word clear —
+// remain readable: their plain-encoded bodies are parsed entry by entry on
+// open (rebuilding the descriptor the old way) and a bloom filter is built
+// from the parsed keys, so even legacy runs get the negative-lookup fast
+// path. The next compaction rewrites them in the current format.
 //
 // Each run keeps a sparse index in RAM: every sparseEvery-th key and its byte
 // offset inside the body, so a point lookup reads only a bounded slice of the
 // body. The sparse index is tiny (a few entries per run) which is what makes
 // the engine viable on a 64 KiB token.
 type run struct {
-	offset int64 // device offset of the body
-	length int   // body length in bytes
-	count  int   // number of entries
+	id     uint64 // process-unique id, keys the block cache
+	offset int64  // device offset of the body
+	length int    // body length in bytes
+	tail   int    // footer bytes following the body (0 for legacy runs)
+	// prefixed marks a prefix-compressed body; legacy bodies are plain.
+	prefixed bool
+	count    int
+	filter   *bloomFilter
 	// sparse index: sorted by key.
 	indexKeys    [][]byte
 	indexOffsets []int
 	first, last  []byte
 }
 
-// sparseEvery controls the sparse index granularity.
+// extent is the total on-device size of the run including its 8-byte header.
+func (r *run) extent() int64 { return 8 + int64(r.length) + int64(r.tail) }
+
+// sparseEvery controls the sparse index granularity and the prefix
+// compression restart interval (they must coincide: an indexed segment starts
+// at a restart point so it can be decoded without earlier context).
 const sparseEvery = 16
 
 // runFlagTombstone marks deleted entries.
 const runFlagTombstone = 0x01
 
-// encodeEntry appends the encoding of (key, value, tombstone) to buf.
+// runFooterFlag is set in the header length word of footered runs.
+const runFooterFlag = 1 << 31
+
+// runIDs allocates process-unique run ids; ids are never reused, so block
+// cache entries of a replaced run can simply be dropped by id.
+var runIDs atomic.Uint64
+
+// encodeEntry appends the legacy plain encoding of (key, value, tombstone) to
+// buf. Kept for reading (and, in tests, writing) pre-footer runs.
 func encodeEntry(buf []byte, key, value []byte, tombstone bool) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(len(key)))
@@ -60,8 +97,8 @@ func encodeEntry(buf []byte, key, value []byte, tombstone bool) []byte {
 	return buf
 }
 
-// decodeEntry decodes one entry from b, returning the entry and the number of
-// bytes consumed.
+// decodeEntry decodes one legacy plain entry from b, returning the entry and
+// the number of bytes consumed. The returned key and value are copies.
 func decodeEntry(b []byte) (memEntry, int, error) {
 	klen, n1 := binary.Uvarint(b)
 	if n1 <= 0 {
@@ -78,7 +115,7 @@ func decodeEntry(b []byte) (memEntry, int, error) {
 	flags := b[pos]
 	pos++
 	end := pos + int(klen) + int(vlen)
-	if end > len(b) {
+	if end > len(b) || int(klen) < 0 || int(vlen) < 0 {
 		return memEntry{}, 0, ErrCorrupt
 	}
 	e := memEntry{
@@ -89,46 +126,217 @@ func decodeEntry(b []byte) (memEntry, int, error) {
 	return e, end, nil
 }
 
-// writeRun writes the sorted entries as a new run at the end of the device
-// and returns its descriptor.
-func writeRun(dev Device, entries []memEntry) (*run, error) {
+// encodePrefixedEntry appends the prefix-compressed encoding of an entry
+// whose key shares `shared` leading bytes with the previous entry's key.
+func encodePrefixedEntry(buf []byte, shared int, key, value []byte, tombstone bool) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(shared))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(key)-shared))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	buf = append(buf, tmp[:n]...)
+	var flags byte
+	if tombstone {
+		flags |= runFlagTombstone
+	}
+	buf = append(buf, flags)
+	buf = append(buf, key[shared:]...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// decodePrefixedEntry decodes one prefix-compressed entry from b. The
+// reconstructed key is appended into *prev (which must hold the previous
+// entry's key and is reused as scratch); the returned value aliases b, so
+// callers that retain it past the buffer's lifetime must copy. Returns the
+// value, the flags byte, and the bytes consumed.
+func decodePrefixedEntry(b []byte, prev *[]byte) (value []byte, flags byte, n int, err error) {
+	shared, n1 := binary.Uvarint(b)
+	if n1 <= 0 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	unshared, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	vlen, n3 := binary.Uvarint(b[n1+n2:])
+	if n3 <= 0 {
+		return nil, 0, 0, ErrCorrupt
+	}
+	pos := n1 + n2 + n3
+	if pos >= len(b) {
+		return nil, 0, 0, ErrCorrupt
+	}
+	flags = b[pos]
+	pos++
+	end := pos + int(unshared) + int(vlen)
+	if end > len(b) || shared > uint64(len(*prev)) {
+		return nil, 0, 0, ErrCorrupt
+	}
+	*prev = append((*prev)[:shared], b[pos:pos+int(unshared)]...)
+	return b[pos+int(unshared) : end], flags, end, nil
+}
+
+// sharedPrefixLen returns the length of the common prefix of a and b.
+func sharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// writeRun writes the sorted entries as a new run at the end of the device —
+// header, prefix-compressed body, and footer in one write — and returns its
+// descriptor. bloomBitsPerKey sizes the per-run bloom filter (0 = default
+// sizing, negative = no filter).
+func writeRun(dev Device, entries []memEntry, bloomBitsPerKey int) (*run, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("storage: cannot write an empty run")
 	}
+	r := &run{id: runIDs.Add(1), count: len(entries), prefixed: true}
+	var filter *bloomFilter
+	if bloomBitsPerKey >= 0 {
+		filter = newBloomFilter(len(entries), bloomBitsPerKey)
+	}
 	body := make([]byte, 0, 64*len(entries))
-	r := &run{count: len(entries)}
+	var prevKey []byte
 	for i, e := range entries {
+		shared := 0
 		if i%sparseEvery == 0 {
+			// Restart point: full key, and a sparse index entry.
 			r.indexKeys = append(r.indexKeys, append([]byte(nil), e.key...))
 			r.indexOffsets = append(r.indexOffsets, len(body))
+		} else {
+			shared = sharedPrefixLen(prevKey, e.key)
 		}
-		body = encodeEntry(body, e.key, e.value, e.tombstone)
+		body = encodePrefixedEntry(body, shared, e.key, e.value, e.tombstone)
+		prevKey = e.key
+		if filter != nil {
+			filter.add(e.key)
+		}
 	}
+	r.filter = filter
 	r.first = append([]byte(nil), entries[0].key...)
 	r.last = append([]byte(nil), entries[len(entries)-1].key...)
-	header := make([]byte, 8)
-	binary.BigEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(body))
-	binary.BigEndian.PutUint32(header[4:8], uint32(len(body)))
+	r.length = len(body)
+
+	footer := r.encodeFooter()
+	r.tail = len(footer)
+
+	buf := make([]byte, 8, 8+len(body)+len(footer))
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(body))|runFooterFlag)
+	buf = append(buf, body...)
+	buf = append(buf, footer...)
 	off := dev.Size()
-	n, err := dev.WriteAt(header, off)
-	if err := fullWrite(n, len(header), err); err != nil {
-		return nil, fmt.Errorf("storage: write run header: %w", err)
-	}
-	n, err = dev.WriteAt(body, off+8)
-	if err := fullWrite(n, len(body), err); err != nil {
-		return nil, fmt.Errorf("storage: write run body: %w", err)
+	n, err := dev.WriteAt(buf, off)
+	if err := fullWrite(n, len(buf), err); err != nil {
+		return nil, fmt.Errorf("storage: write run: %w", err)
 	}
 	r.offset = off + 8
-	r.length = len(body)
 	return r, nil
 }
 
-// openRun rebuilds the in-RAM descriptor (sparse index, key range, count) of
-// the run stored at offset off by re-reading and re-parsing its body. It is
-// the recovery-path inverse of writeRun: the descriptor it returns is
-// identical to the one writeRun produced before the crash. Torn or corrupted
-// runs (body extending past the device, CRC mismatch, undecodable entries)
-// come back as ErrCorrupt-wrapped errors so the caller can truncate the tail.
+// encodeFooter serializes the descriptor — count, key range, bloom filter,
+// sparse index — framed as [4]crc [4]len payload.
+func (r *run) encodeFooter() []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	capHint := 64 + 16*len(r.indexKeys)
+	if r.filter != nil {
+		capHint += len(r.filter.bits)
+	}
+	payload := make([]byte, 0, capHint)
+	putBytes := func(b []byte) {
+		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(b)))]...)
+		payload = append(payload, b...)
+	}
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(r.count))]...)
+	putBytes(r.first)
+	putBytes(r.last)
+	payload = r.filter.marshal(payload)
+	payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(len(r.indexKeys)))]...)
+	for i, k := range r.indexKeys {
+		putBytes(k)
+		payload = append(payload, tmp[:binary.PutUvarint(tmp[:], uint64(r.indexOffsets[i]))]...)
+	}
+	footer := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(footer[0:4], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint32(footer[4:8], uint32(len(payload)))
+	return append(footer, payload...)
+}
+
+// decodeFooter parses a footer payload into the descriptor fields.
+func (r *run) decodeFooter(payload []byte) error {
+	bad := func(what string) error {
+		return fmt.Errorf("storage: run footer %s: %w", what, ErrCorrupt)
+	}
+	getBytes := func(b []byte) ([]byte, []byte, bool) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || l > uint64(len(b)-n) {
+			return nil, nil, false
+		}
+		return append([]byte(nil), b[n:n+int(l)]...), b[n+int(l):], true
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count == 0 {
+		return bad("count")
+	}
+	r.count = int(count)
+	b := payload[n:]
+	var ok bool
+	if r.first, b, ok = getBytes(b); !ok {
+		return bad("first key")
+	}
+	if r.last, b, ok = getBytes(b); !ok {
+		return bad("last key")
+	}
+	filter, n, err := unmarshalBloom(b)
+	if err != nil {
+		return err
+	}
+	r.filter = filter
+	b = b[n:]
+	nIndex, n := binary.Uvarint(b)
+	if n <= 0 {
+		return bad("index count")
+	}
+	b = b[n:]
+	r.indexKeys = make([][]byte, 0, nIndex)
+	r.indexOffsets = make([]int, 0, nIndex)
+	for i := uint64(0); i < nIndex; i++ {
+		var k []byte
+		if k, b, ok = getBytes(b); !ok {
+			return bad("index key")
+		}
+		off, n := binary.Uvarint(b)
+		if n <= 0 || off > uint64(r.length) {
+			return bad("index offset")
+		}
+		b = b[n:]
+		r.indexKeys = append(r.indexKeys, k)
+		r.indexOffsets = append(r.indexOffsets, int(off))
+	}
+	if len(b) != 0 {
+		return bad("trailing bytes")
+	}
+	return nil
+}
+
+// openRun rebuilds the in-RAM descriptor (sparse index, key range, bloom
+// filter, count) of the run stored at offset off. It is the recovery-path
+// inverse of writeRun: the descriptor it returns is identical to the one
+// writeRun produced before the crash. For footered runs the descriptor comes
+// from the footer and the body is only checksummed, never decoded; legacy
+// runs are re-parsed entry by entry and get a bloom filter rebuilt from their
+// keys. Torn or corrupted runs (body or footer extending past the device,
+// CRC mismatch, undecodable entries) come back as ErrCorrupt-wrapped errors
+// so the caller can truncate the tail.
 func openRun(dev Device, off int64) (*run, error) {
 	size := dev.Size()
 	if off+8 > size {
@@ -140,7 +348,9 @@ func openRun(dev Device, off int64) (*run, error) {
 		return nil, fmt.Errorf("storage: open run header: %w", err)
 	}
 	want := binary.BigEndian.Uint32(header[0:4])
-	length := int64(binary.BigEndian.Uint32(header[4:8]))
+	word := binary.BigEndian.Uint32(header[4:8])
+	footered := word&runFooterFlag != 0
+	length := int64(word &^ runFooterFlag)
 	if length == 0 || off+8+length > size {
 		return nil, fmt.Errorf("storage: run body of %d bytes at %d exceeds device end %d: %w",
 			length, off, size, ErrCorrupt)
@@ -153,7 +363,44 @@ func openRun(dev Device, off int64) (*run, error) {
 	if crc32.ChecksumIEEE(body) != want {
 		return nil, fmt.Errorf("storage: run body checksum mismatch: %w", ErrCorrupt)
 	}
-	r := &run{offset: off + 8, length: int(length)}
+	r := &run{id: runIDs.Add(1), offset: off + 8, length: int(length)}
+
+	if footered {
+		footerOff := off + 8 + length
+		if footerOff+8 > size {
+			return nil, fmt.Errorf("storage: run footer header at %d past device end %d: %w", footerOff, size, ErrCorrupt)
+		}
+		fh := make([]byte, 8)
+		n, err := dev.ReadAt(fh, footerOff)
+		if err := fullRead(n, len(fh), err); err != nil {
+			return nil, fmt.Errorf("storage: open run footer header: %w", err)
+		}
+		fwant := binary.BigEndian.Uint32(fh[0:4])
+		flen := int64(binary.BigEndian.Uint32(fh[4:8]))
+		if flen == 0 || footerOff+8+flen > size {
+			return nil, fmt.Errorf("storage: run footer of %d bytes at %d exceeds device end %d: %w",
+				flen, footerOff, size, ErrCorrupt)
+		}
+		payload := make([]byte, flen)
+		n, err = dev.ReadAt(payload, footerOff+8)
+		if err := fullRead(n, int(flen), err); err != nil {
+			return nil, fmt.Errorf("storage: open run footer: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != fwant {
+			return nil, fmt.Errorf("storage: run footer checksum mismatch: %w", ErrCorrupt)
+		}
+		r.prefixed = true
+		r.tail = 8 + int(flen)
+		if err := r.decodeFooter(payload); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+
+	// Legacy footer-less run: rebuild the descriptor by parsing the plain
+	// body, collecting key hashes along the way to build the bloom filter the
+	// old format never stored.
+	var hashes []uint64
 	pos := 0
 	for pos < len(body) {
 		e, n, err := decodeEntry(body[pos:])
@@ -169,12 +416,30 @@ func openRun(dev Device, off int64) (*run, error) {
 		}
 		r.last = e.key
 		r.count++
+		hashes = append(hashes, bloomHash(e.key))
 		pos += n
 	}
 	if r.count == 0 {
 		return nil, fmt.Errorf("storage: run with no entries: %w", ErrCorrupt)
 	}
+	filter := newBloomFilter(r.count, 0)
+	for _, h := range hashes {
+		filter.addHash(h)
+	}
+	r.filter = filter
 	return r, nil
+}
+
+// addHash inserts a pre-computed bloomHash (used when rebuilding filters for
+// legacy runs, where keys were already hashed during the body parse).
+func (f *bloomFilter) addHash(h uint64) {
+	delta := h>>17 | h<<47
+	nbits := uint64(len(f.bits)) * 8
+	for i := uint8(0); i < f.k; i++ {
+		pos := h % nbits
+		f.bits[pos/8] |= 1 << (pos % 8)
+		h += delta
+	}
 }
 
 // scanRuns walks the device from offset zero and rebuilds the descriptor of
@@ -190,7 +455,7 @@ func scanRuns(dev Device) (runs []*run, valid int64) {
 			break
 		}
 		runs = append(runs, r)
-		off = r.offset + int64(r.length)
+		off += r.extent()
 	}
 	return runs, off
 }
@@ -238,25 +503,78 @@ func (r *run) segmentFor(key []byte) (from, to int) {
 }
 
 // get looks up key in the run. The bool reports whether the key was found
-// (possibly as a tombstone).
-func (r *run) get(dev Device, key []byte) (memEntry, bool, error) {
+// (possibly as a tombstone). The filter and range checks reject most misses
+// without touching the device; on a hit path the indexed segment is served
+// from the block cache when present and admitted to it after a device read.
+// The returned entry's value may alias a cache-resident buffer — callers
+// that hand it out must copy. Counter increments go to c (nil = uncounted).
+func (r *run) get(dev Device, cache *BlockCache, key []byte, c *kvCounters) (memEntry, bool, error) {
 	if !r.mayContain(key) {
 		return memEntry{}, false, nil
 	}
-	from, to := r.segmentFor(key)
-	seg := make([]byte, to-from)
-	if _, err := dev.ReadAt(seg, r.offset+int64(from)); err != nil {
-		return memEntry{}, false, fmt.Errorf("storage: run get: %w", err)
+	if !r.filter.mayContain(key) {
+		if c != nil {
+			c.bloomSkips.Add(1)
+		}
+		return memEntry{}, false, nil
 	}
+	from, to := r.segmentFor(key)
+	seg := cache.get(r.id, int64(from))
+	if seg != nil {
+		if c != nil {
+			c.cacheHits.Add(1)
+		}
+	} else {
+		if cache != nil && c != nil {
+			c.cacheMisses.Add(1)
+		}
+		seg = make([]byte, to-from)
+		if _, err := dev.ReadAt(seg, r.offset+int64(from)); err != nil {
+			return memEntry{}, false, fmt.Errorf("storage: run get: %w", err)
+		}
+		if c != nil {
+			c.runReads.Add(1)
+		}
+		cache.put(r.id, int64(from), seg)
+	}
+	return r.searchSegment(seg, key)
+}
+
+// searchSegment scans one indexed segment for key. seg must start at a
+// restart point (segments returned by segmentFor always do).
+func (r *run) searchSegment(seg, key []byte) (memEntry, bool, error) {
+	if !r.prefixed {
+		pos := 0
+		for pos < len(seg) {
+			e, n, err := decodeEntry(seg[pos:])
+			if err != nil {
+				return memEntry{}, false, err
+			}
+			cmp := bytes.Compare(e.key, key)
+			if cmp == 0 {
+				return e, true, nil
+			}
+			if cmp > 0 {
+				return memEntry{}, false, nil
+			}
+			pos += n
+		}
+		return memEntry{}, false, nil
+	}
+	var scratch []byte
 	pos := 0
 	for pos < len(seg) {
-		e, n, err := decodeEntry(seg[pos:])
+		value, flags, n, err := decodePrefixedEntry(seg[pos:], &scratch)
 		if err != nil {
 			return memEntry{}, false, err
 		}
-		cmp := bytes.Compare(e.key, key)
+		cmp := bytes.Compare(scratch, key)
 		if cmp == 0 {
-			return e, true, nil
+			return memEntry{
+				key:       scratch,
+				value:     value,
+				tombstone: flags&runFlagTombstone != 0,
+			}, true, nil
 		}
 		if cmp > 0 {
 			return memEntry{}, false, nil
@@ -268,25 +586,49 @@ func (r *run) get(dev Device, key []byte) (memEntry, bool, error) {
 
 // scan iterates over all entries of the run in key order with key in
 // [start, end) (nil end = unbounded), calling fn until it returns false.
+// Keys are fresh copies; values alias the body buffer read for this scan
+// (never mutated afterwards, so retaining them is safe).
 func (r *run) scan(dev Device, start, end []byte, fn func(memEntry) bool) error {
 	body := make([]byte, r.length)
 	if _, err := dev.ReadAt(body, r.offset); err != nil {
 		return fmt.Errorf("storage: run scan: %w", err)
 	}
+	emit := func(e memEntry) bool { // reports whether to keep going
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(e.key, end) >= 0 {
+			return false
+		}
+		return fn(e)
+	}
 	pos := 0
+	if !r.prefixed {
+		for pos < len(body) {
+			e, n, err := decodeEntry(body[pos:])
+			if err != nil {
+				return err
+			}
+			pos += n
+			if !emit(e) {
+				return nil
+			}
+		}
+		return nil
+	}
+	var scratch []byte
 	for pos < len(body) {
-		e, n, err := decodeEntry(body[pos:])
+		value, flags, n, err := decodePrefixedEntry(body[pos:], &scratch)
 		if err != nil {
 			return err
 		}
 		pos += n
-		if start != nil && bytes.Compare(e.key, start) < 0 {
-			continue
+		e := memEntry{
+			key:       append([]byte(nil), scratch...),
+			value:     value,
+			tombstone: flags&runFlagTombstone != 0,
 		}
-		if end != nil && bytes.Compare(e.key, end) >= 0 {
-			return nil
-		}
-		if !fn(e) {
+		if !emit(e) {
 			return nil
 		}
 	}

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// writeLegacyRun writes entries in the pre-footer format — plain encoding,
+// bit 31 of the length word clear, no footer — exactly as earlier releases
+// did, so compatibility tests exercise the real on-device bytes.
+func writeLegacyRun(t testing.TB, dev Device, entries []memEntry) *run {
+	t.Helper()
+	var body []byte
+	for _, e := range entries {
+		body = encodeEntry(body, e.key, e.value, e.tombstone)
+	}
+	buf := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(body)))
+	buf = append(buf, body...)
+	off := dev.Size()
+	if _, err := dev.WriteAt(buf, off); err != nil {
+		t.Fatalf("write legacy run: %v", err)
+	}
+	r, err := openRun(dev, off)
+	if err != nil {
+		t.Fatalf("open legacy run: %v", err)
+	}
+	return r
+}
+
+func runTestEntries(n int) []memEntry {
+	entries := make([]memEntry, n)
+	for i := range entries {
+		entries[i] = memEntry{
+			key:       []byte(fmt.Sprintf("key-%05d", i*3)),
+			value:     []byte(fmt.Sprintf("value-%d", i)),
+			tombstone: i%7 == 3,
+		}
+	}
+	return entries
+}
+
+// TestRunFooterRoundTrip writes a footered run and checks that openRun
+// rebuilds the descriptor writeRun produced — count, key range, sparse index
+// and bloom filter — from the footer alone.
+func TestRunFooterRoundTrip(t *testing.T) {
+	dev := NewMemDevice(0)
+	entries := runTestEntries(100)
+	w, err := writeRun(dev, entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.tail == 0 || !w.prefixed {
+		t.Fatalf("writeRun produced a footer-less run: %+v", w)
+	}
+	r, err := openRun(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.count != w.count || !bytes.Equal(r.first, w.first) || !bytes.Equal(r.last, w.last) {
+		t.Fatalf("descriptor mismatch: wrote %+v, reopened %+v", w, r)
+	}
+	if !reflect.DeepEqual(r.indexKeys, w.indexKeys) || !reflect.DeepEqual(r.indexOffsets, w.indexOffsets) {
+		t.Fatalf("sparse index mismatch:\nwrote    %v %v\nreopened %v %v",
+			w.indexKeys, w.indexOffsets, r.indexKeys, r.indexOffsets)
+	}
+	if r.filter == nil || r.filter.k != w.filter.k || !bytes.Equal(r.filter.bits, w.filter.bits) {
+		t.Fatal("bloom filter did not survive the footer round trip")
+	}
+	if r.extent() != w.extent() {
+		t.Fatalf("extent mismatch: %d vs %d", r.extent(), w.extent())
+	}
+}
+
+func TestWriteRunWithoutBloom(t *testing.T) {
+	dev := NewMemDevice(0)
+	w, err := writeRun(dev, runTestEntries(20), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.filter != nil {
+		t.Fatal("negative bitsPerKey still built a filter")
+	}
+	r, err := openRun(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.filter != nil {
+		t.Fatal("footer resurrected a disabled filter")
+	}
+	// Lookups still work, they just can't skip.
+	e, ok, err := r.get(dev, nil, []byte("key-00003"), nil)
+	if err != nil || !ok || string(e.value) != "value-1" {
+		t.Fatalf("get without filter: %v %v %v", e, ok, err)
+	}
+}
+
+// TestRunSparseIndexBoundaries probes every alignment the sparse index can
+// produce — entry counts exactly at, one below and one above a restart
+// multiple — in both the footered and the legacy format. The probes cover
+// every present key, the gaps between keys, both ends of the range, and the
+// keys sitting exactly on restart points.
+func TestRunSparseIndexBoundaries(t *testing.T) {
+	counts := []int{1, sparseEvery - 1, sparseEvery, sparseEvery + 1, 3*sparseEvery - 1, 3 * sparseEvery, 3*sparseEvery + 1}
+	for _, n := range counts {
+		for _, legacy := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/legacy=%v", n, legacy)
+			dev := NewMemDevice(0)
+			entries := runTestEntries(n)
+			var r *run
+			if legacy {
+				r = writeLegacyRun(t, dev, entries)
+			} else {
+				var err error
+				if r, err = writeRun(dev, entries, 0); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			wantIndex := (n + sparseEvery - 1) / sparseEvery
+			if len(r.indexKeys) != wantIndex {
+				t.Fatalf("%s: %d index entries, want %d", name, len(r.indexKeys), wantIndex)
+			}
+			for i, e := range entries {
+				got, ok, err := r.get(dev, nil, e.key, nil)
+				if err != nil || !ok {
+					t.Fatalf("%s: present key %q missing: %v", name, e.key, err)
+				}
+				if !bytes.Equal(got.value, e.value) || got.tombstone != e.tombstone {
+					t.Fatalf("%s: key %q = %q/%v, want %q/%v", name, e.key, got.value, got.tombstone, e.value, e.tombstone)
+				}
+				// The key just after entry i (inside the gap keys i*3 leaves).
+				gap := []byte(fmt.Sprintf("key-%05d", i*3+1))
+				if _, ok, _ := r.get(dev, nil, gap, nil); ok {
+					t.Fatalf("%s: gap key %q found", name, gap)
+				}
+			}
+			if _, ok, _ := r.get(dev, nil, []byte("key-"), nil); ok {
+				t.Fatalf("%s: key below range found", name)
+			}
+			if _, ok, _ := r.get(dev, nil, []byte("key-99999"), nil); ok {
+				t.Fatalf("%s: key above range found", name)
+			}
+		}
+	}
+}
+
+// TestRunDifferentialAgainstOracle drives randomized keys/values/tombstones
+// through both run formats and cross-checks every lookup and a full scan
+// against a plain map oracle.
+func TestRunDifferentialAgainstOracle(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(99))
+		oracle := make(map[string]memEntry)
+		for i := 0; i < 700; i++ {
+			k := fmt.Sprintf("k%04d-%02d", rng.Intn(5000), rng.Intn(10))
+			oracle[k] = memEntry{
+				key:       []byte(k),
+				value:     []byte(fmt.Sprintf("v-%d-%d", i, rng.Intn(1000))),
+				tombstone: rng.Intn(6) == 0,
+			}
+		}
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		entries := make([]memEntry, 0, len(keys))
+		for _, k := range keys {
+			entries = append(entries, oracle[k])
+		}
+
+		dev := NewMemDevice(0)
+		var r *run
+		if legacy {
+			r = writeLegacyRun(t, dev, entries)
+		} else {
+			var err error
+			if r, err = writeRun(dev, entries, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cache := NewBlockCache(64 << 10) // small: exercises hits, misses and eviction
+		for trial := 0; trial < 3000; trial++ {
+			k := fmt.Sprintf("k%04d-%02d", rng.Intn(5000), rng.Intn(10))
+			want, present := oracle[k]
+			got, ok, err := r.get(dev, cache, []byte(k), nil)
+			if err != nil {
+				t.Fatalf("legacy=%v get %q: %v", legacy, k, err)
+			}
+			if ok != present {
+				t.Fatalf("legacy=%v key %q: found=%v, oracle=%v", legacy, k, ok, present)
+			}
+			if present && (!bytes.Equal(got.value, want.value) || got.tombstone != want.tombstone) {
+				t.Fatalf("legacy=%v key %q = %q/%v, want %q/%v", legacy, k, got.value, got.tombstone, want.value, want.tombstone)
+			}
+		}
+		var scanned []memEntry
+		if err := r.scan(dev, nil, nil, func(e memEntry) bool {
+			scanned = append(scanned, e)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(scanned) != len(entries) {
+			t.Fatalf("legacy=%v scan returned %d entries, want %d", legacy, len(scanned), len(entries))
+		}
+		for i, e := range scanned {
+			w := entries[i]
+			if !bytes.Equal(e.key, w.key) || !bytes.Equal(e.value, w.value) || e.tombstone != w.tombstone {
+				t.Fatalf("legacy=%v scan[%d] = %q/%q/%v, want %q/%q/%v",
+					legacy, i, e.key, e.value, e.tombstone, w.key, w.value, w.tombstone)
+			}
+		}
+	}
+}
+
+// FuzzRunRoundTrip feeds arbitrary bytes through a deterministic
+// entry-builder, writes the run (footer included) and checks that the
+// reopened descriptor serves every entry back intact — and that a corrupted
+// copy is rejected rather than misread.
+func FuzzRunRoundTrip(f *testing.F) {
+	f.Add([]byte("seed"), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252}, uint8(40))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), uint8(17))
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		if n == 0 || len(data) == 0 {
+			return
+		}
+		// Derive n strictly increasing keys and arbitrary values from data.
+		entries := make([]memEntry, 0, n)
+		for i := 0; i < int(n); i++ {
+			chunk := data[i*len(data)/int(n) : (i+1)*len(data)/int(n)]
+			entries = append(entries, memEntry{
+				key:       []byte(fmt.Sprintf("%06d-%x", i, chunk)),
+				value:     chunk,
+				tombstone: len(chunk)%3 == 0,
+			})
+		}
+		dev := NewMemDevice(0)
+		w, err := writeRun(dev, entries, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := openRun(dev, 0)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if r.count != len(entries) || !bytes.Equal(r.first, entries[0].key) || !bytes.Equal(r.last, entries[len(entries)-1].key) {
+			t.Fatalf("descriptor mismatch: %+v", r)
+		}
+		for _, e := range entries {
+			got, ok, err := r.get(dev, nil, e.key, nil)
+			if err != nil || !ok {
+				t.Fatalf("key %q missing: %v", e.key, err)
+			}
+			if !bytes.Equal(got.value, e.value) || got.tombstone != e.tombstone {
+				t.Fatalf("key %q = %q/%v, want %q/%v", e.key, got.value, got.tombstone, e.value, e.tombstone)
+			}
+		}
+		// Flip one body byte on a copy: openRun must reject, never misread.
+		if w.length > 0 {
+			tampered := NewMemDevice(0)
+			raw := make([]byte, dev.Size())
+			if _, err := dev.ReadAt(raw, 0); err != nil {
+				t.Fatal(err)
+			}
+			raw[8+int(uint32(len(data))%uint32(w.length))] ^= 0xFF
+			if _, err := tampered.WriteAt(raw, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := openRun(tampered, 0); err == nil {
+				t.Fatal("tampered body accepted")
+			}
+		}
+	})
+}

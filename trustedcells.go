@@ -43,6 +43,7 @@ import (
 	"trustedcells/internal/query"
 	"trustedcells/internal/sensor"
 	"trustedcells/internal/sim"
+	"trustedcells/internal/storage"
 	syncpkg "trustedcells/internal/sync"
 	"trustedcells/internal/tamper"
 	"trustedcells/internal/timeseries"
@@ -253,11 +254,19 @@ func NewMemoryCloudShards(shards int) *cloud.Memory { return cloud.NewMemoryShar
 type DurableCloud = cloud.Durable
 
 // DurableCloudOptions configure a disk-backed provider; the zero value uses
-// the defaults (32 shards, fsync'd commits).
+// the defaults (32 shards, fsync'd commits, and the read fast path on: a
+// shared 16 MiB block cache plus ~10 bits/key per-run bloom filters, with
+// background compactions bounded to two at a time).
 type DurableCloudOptions = cloud.DurableOptions
 
 // DurableCloudRecovery reports what OpenDurableCloud replayed and repaired.
 type DurableCloudRecovery = cloud.DurableRecovery
+
+// DurableEngineStats are the summed LSM-engine counters of a DurableCloud's
+// shards — runs, lookups, and the read fast-path counters (bloom-filter
+// skips, block-cache hits and misses, device reads). Exposed through
+// DurableCloud.EngineStats and, per shard, DurableCloud.ShardStats.
+type DurableEngineStats = storage.Stats
 
 // OpenDurableCloud opens (creating if needed) a durable disk-backed cloud
 // service rooted at dir, recovering any existing state: crash recovery
