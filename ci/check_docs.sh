@@ -1,0 +1,46 @@
+#!/bin/sh
+# Docs-vs-experiments consistency check (the CI lint job's `docs` step).
+#
+# The repo's documentation has drifted before (README advertising "E1–E13"
+# while the suite had grown past it), so this script makes the claim
+# checkable:
+#
+#   1. Every experiment id written in README.md or EXPERIMENTS.md (any
+#      `E<n>` word) must have a recorded `## E<n> — ...` section in
+#      EXPERIMENTS.md. Referencing an experiment with no recorded numbers
+#      fails the build — unimplemented ids (e.g. the reserved 16/17) must
+#      not be named as experiments in these files.
+#   2. EXPERIMENTS.md's sections must appear in ascending numeric order,
+#      and each must be listed in the Index table at the top.
+set -eu
+cd "$(dirname "$0")/.."
+
+sections=$(grep -oE '^## E[0-9]+ ' EXPERIMENTS.md | sed -E 's/^## (E[0-9]+) /\1/')
+refs=$(grep -ohE '\bE[0-9]+\b' README.md EXPERIMENTS.md | sort -u)
+
+fail=0
+for id in $refs; do
+  if ! printf '%s\n' "$sections" | grep -qx "$id"; then
+    echo "FAIL: $id is referenced in README.md/EXPERIMENTS.md but EXPERIMENTS.md has no '## $id — ...' section"
+    fail=1
+  fi
+done
+
+prev=0
+for id in $sections; do
+  n=${id#E}
+  if [ "$n" -le "$prev" ]; then
+    echo "FAIL: EXPERIMENTS.md section $id is out of numeric order (follows E$prev)"
+    fail=1
+  fi
+  prev=$n
+  if ! grep -qE "^\| \[$id\]\(#" EXPERIMENTS.md; then
+    echo "FAIL: EXPERIMENTS.md section $id is missing from the Index table"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "docs check: $(printf '%s\n' "$sections" | wc -l | tr -d ' ') experiment sections consistent with references and index"

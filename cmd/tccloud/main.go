@@ -23,6 +23,21 @@
 //
 //	tccloud -addr :7070 -data-dir /var/lib/tccloud \
 //	    -member host-b:7070 -member host-c:7070 -quorum-w 2 -quorum-r 2
+//
+// With -framed-addr the server additionally opens the fleet-scale front
+// door: the connection-multiplexed framed protocol (trustedcells.DialFramed)
+// with admission control — when more than -max-inflight weighted mutations
+// are executing, further ones are shed immediately with a typed retry-after
+// error instead of queuing — and optional per-tenant namespaces and quotas:
+//
+//	tccloud -addr :7070 -framed-addr :7071 -data-dir /var/lib/tccloud \
+//	    -max-inflight 1024 \
+//	    -tenant acme:1073741824:500 -tenant globex
+//
+// Each -tenant is name[:maxBytes[:opsPerSec]]; omitted budgets are
+// unlimited. A framed connection binds to its tenant with a hello frame and
+// then sees only its own namespace. The classic line-protocol listener keeps
+// serving the backend directly, so existing clients are unaffected.
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +66,47 @@ func (m *memberList) Set(v string) error {
 			*m = append(*m, part)
 		}
 	}
+	return nil
+}
+
+// tenantList collects repeated -tenant flags of the form
+// name[:maxBytes[:opsPerSec]].
+type tenantList []tenantSpec
+
+type tenantSpec struct {
+	name  string
+	quota cloud.TenantQuota
+}
+
+func (t *tenantList) String() string {
+	names := make([]string, len(*t))
+	for i, s := range *t {
+		names[i] = s.name
+	}
+	return strings.Join(names, ",")
+}
+
+func (t *tenantList) Set(v string) error {
+	parts := strings.Split(v, ":")
+	spec := tenantSpec{name: parts[0]}
+	if len(parts) > 3 || spec.name == "" {
+		return fmt.Errorf("tenant spec %q: want name[:maxBytes[:opsPerSec]]", v)
+	}
+	if len(parts) > 1 && parts[1] != "" {
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("tenant spec %q: bad maxBytes %q", v, parts[1])
+		}
+		spec.quota.MaxBytes = n
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		f, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("tenant spec %q: bad opsPerSec %q", v, parts[2])
+		}
+		spec.quota.OpsPerSec = f
+	}
+	*t = append(*t, spec)
 	return nil
 }
 
@@ -97,8 +154,12 @@ func logEngineStats(d *cloud.Durable, every time.Duration) {
 
 func main() {
 	var members memberList
+	var tenants tenantList
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7070", "address to listen on")
+		framedAddr = flag.String("framed-addr", "", "address for the multiplexed framed front door (empty = disabled)")
+		maxInFly   = flag.Int64("max-inflight", 1024, "with -framed-addr: weighted in-flight mutation budget before shedding")
+		retryAfter = flag.Duration("retry-after", 25*time.Millisecond, "with -framed-addr: backoff hint attached to shed requests")
 		dataDir    = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
 		shards     = flag.Int("shards", cloud.DefaultShards, "shard count (fixed at first open for a durable store)")
 		adversary  = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
@@ -110,6 +171,7 @@ func main() {
 		statsEvery = flag.Duration("stats-every", time.Minute, "with -data-dir: interval for logging per-shard cache/bloom hit rates (0 disables)")
 	)
 	flag.Var(&members, "member", "address of a further fleet member to dial (repeatable or comma-separated); the local store is member 0")
+	flag.Var(&tenants, "tenant", "with -framed-addr: provision a tenant as name[:maxBytes[:opsPerSec]] (repeatable)")
 	flag.Parse()
 
 	cfg := cloud.AdversaryConfig{Seed: *seed}
@@ -213,6 +275,32 @@ func main() {
 		ln.Addr(), backend, cfg.Mode)
 	srv := cloud.NewServer(svc)
 
+	// The framed front door: admission control around the backend, tenant
+	// namespaces on top, the multiplexed protocol in front. The classic line
+	// listener keeps serving the raw backend for old clients.
+	var framedSrv *cloud.FrameServer
+	framedErr := make(chan error, 1)
+	if *framedAddr != "" {
+		adm := cloud.NewAdmission(svc, cloud.AdmissionOptions{
+			MaxInFlight: *maxInFly,
+			RetryAfter:  *retryAfter,
+		})
+		reg := cloud.NewTenants(adm)
+		for _, spec := range tenants {
+			if err := reg.Define(spec.name, spec.quota); err != nil {
+				log.Fatalf("tccloud: %v", err)
+			}
+		}
+		fln, err := net.Listen("tcp", *framedAddr)
+		if err != nil {
+			log.Fatalf("tccloud: listen framed: %v", err)
+		}
+		framedSrv = cloud.NewFrameServer(adm, cloud.FrameServerOptions{Tenants: reg})
+		go func() { framedErr <- framedSrv.Serve(fln) }()
+		log.Printf("tccloud: framed front door on %s (max-inflight=%d retry-after=%v tenants=%s)",
+			fln.Addr(), *maxInFly, *retryAfter, tenants.String())
+	}
+
 	// A durable store wants a graceful shutdown: checkpoint the memtables and
 	// close the WALs so the next start replays nothing. (A kill -9 is also
 	// fine — that is the point — it just pays the WAL replay.)
@@ -221,10 +309,18 @@ func main() {
 	go func() {
 		s := <-sig
 		log.Printf("tccloud: %v: shutting down", s)
+		if framedSrv != nil {
+			_ = framedSrv.Close()
+		}
 		_ = srv.Close() // closes the listener; Serve returns nil once drained
 	}()
 
 	err = srv.Serve(ln)
+	if framedSrv != nil {
+		if ferr := <-framedErr; ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	if replicated != nil {
 		// Stop the anti-entropy loop and give departing writes their last
 		// hint drain before the members close under us.

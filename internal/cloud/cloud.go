@@ -31,10 +31,63 @@ import (
 
 // Errors returned by the service.
 var (
+	// ErrBlobNotFound reports that no blob is stored under the requested name.
 	ErrBlobNotFound = errors.New("cloud: blob not found")
-	ErrUnavailable  = errors.New("cloud: service temporarily unavailable")
+	// ErrUnavailable reports a transient service failure; the caller may retry.
+	ErrUnavailable = errors.New("cloud: service temporarily unavailable")
+	// ErrMailboxEmpty reports that a mailbox has no pending messages.
 	ErrMailboxEmpty = errors.New("cloud: mailbox empty")
+	// ErrOverloaded is the sentinel behind OverloadError: the front door shed
+	// the request instead of queuing it. Match with errors.Is and back off for
+	// the OverloadError's RetryAfter before retrying.
+	ErrOverloaded = errors.New("cloud: overloaded")
+	// ErrQuotaExceeded is the sentinel behind QuotaError: a tenant crossed its
+	// byte or operation budget. Match with errors.Is.
+	ErrQuotaExceeded = errors.New("cloud: tenant quota exceeded")
 )
+
+// OverloadError is the typed shedding error of the admission controller (see
+// Admission): the provider's write path — in practice the commit journal's
+// group committer — is saturated, and rather than queuing the request
+// unboundedly the front door rejected it immediately. RetryAfter is the
+// server's backoff hint. It unwraps to ErrOverloaded and travels across the
+// framed wire protocol intact (see respError).
+type OverloadError struct {
+	// RetryAfter is how long the client should wait before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cloud: overloaded; retry after %v", e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// QuotaError is the typed rejection a TenantView returns when an operation
+// would cross the tenant's quota. Resource names the exhausted budget:
+// "bytes" (the cumulative written-byte budget — not retryable, the tenant
+// must delete data or be re-provisioned) or "ops" (the sustained
+// operations/sec token bucket — retryable after RetryAfter). It unwraps to
+// ErrQuotaExceeded and travels across the framed wire protocol intact.
+type QuotaError struct {
+	// Tenant is the tenant whose budget was exhausted.
+	Tenant string
+	// Resource is the exhausted budget: "bytes" or "ops".
+	Resource string
+	// RetryAfter is the backoff after which an "ops" rejection would admit
+	// the same request; zero for "bytes" rejections.
+	RetryAfter time.Duration
+}
+
+// Error implements error in the fixed format the wire codec parses back.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("cloud: tenant %q over %s quota", e.Tenant, e.Resource)
+}
+
+// Unwrap makes errors.Is(err, ErrQuotaExceeded) true.
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }
 
 // Blob is a named, versioned, opaque byte string. Cells only ever upload
 // sealed envelopes, so the cloud sees ciphertext.

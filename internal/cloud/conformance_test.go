@@ -21,7 +21,12 @@ import (
 //   - replicated stripes a mixed fleet (RAM, disk, RAM) at W=2/R=2;
 //   - replicated-faulty additionally wraps one member in cloud.Faulty at a
 //     nonzero error rate — the battery must pass identically, because the
-//     two healthy members always satisfy both quorums.
+//     two healthy members always satisfy both quorums;
+//   - framed serves a Memory through the multiplexed framed protocol;
+//   - framed-tenant runs the full front-door stack — durable backend,
+//     admission controller, tenant namespace, framed protocol — with
+//     quotas generous enough to never trip, so the stack must be
+//     behaviourally invisible.
 func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
 	return map[string]func(t *testing.T) Service{
 		"memory": func(t *testing.T) Service { return NewMemory() },
@@ -72,7 +77,48 @@ func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
 			t.Cleanup(func() { _ = r.Close() })
 			return r
 		},
+		"framed": func(t *testing.T) Service {
+			return dialTestFrameServer(t, NewMemory(), FrameServerOptions{}, "")
+		},
+		"framed-tenant": func(t *testing.T) Service {
+			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 4})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			t.Cleanup(func() { _ = d.Close() })
+			adm := NewAdmission(d, AdmissionOptions{})
+			tenants := NewTenants(adm)
+			if err := tenants.Define("acme", TenantQuota{}); err != nil {
+				t.Fatalf("Define: %v", err)
+			}
+			return dialTestFrameServer(t, adm, FrameServerOptions{Tenants: tenants}, "acme")
+		},
 	}
+}
+
+// dialTestFrameServer starts a FrameServer over svc on a loopback socket and
+// returns a connected FrameClient, bound to tenant when non-empty. Both are
+// torn down with the test.
+func dialTestFrameServer(t *testing.T, svc Service, opts FrameServerOptions, tenant string) *FrameClient {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewFrameServer(svc, opts)
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := DialFramed(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial framed: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	if tenant != "" {
+		if err := client.Hello(tenant); err != nil {
+			t.Fatalf("hello: %v", err)
+		}
+	}
+	return client
 }
 
 // TestServiceConformance runs the same behavioural battery over every backend:

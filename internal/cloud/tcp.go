@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // This file exposes a Service over TCP with a small JSON line protocol, so a
@@ -29,16 +30,19 @@ type rpcRequest struct {
 	Gets      []CondGet `json:"gets,omitempty"`
 }
 
-// rpcResponse is the wire format of a response.
+// rpcResponse is the wire format of a response. RetryAfterMs carries the
+// backoff hint of typed overload/quota rejections so respError can
+// reconstruct them client-side.
 type rpcResponse struct {
-	Err      string    `json:"err,omitempty"`
-	Version  int       `json:"version,omitempty"`
-	Blob     *Blob     `json:"blob,omitempty"`
-	Names    []string  `json:"names,omitempty"`
-	Messages []Message `json:"messages,omitempty"`
-	Stats    *Stats    `json:"stats,omitempty"`
-	Versions []int     `json:"versions,omitempty"`
-	Blobs    []Blob    `json:"blobs,omitempty"`
+	Err          string    `json:"err,omitempty"`
+	RetryAfterMs int64     `json:"retry_after_ms,omitempty"`
+	Version      int       `json:"version,omitempty"`
+	Blob         *Blob     `json:"blob,omitempty"`
+	Names        []string  `json:"names,omitempty"`
+	Messages     []Message `json:"messages,omitempty"`
+	Stats        *Stats    `json:"stats,omitempty"`
+	Versions     []int     `json:"versions,omitempty"`
+	Blobs        []Blob    `json:"blobs,omitempty"`
 }
 
 // Server serves a Service over a listener.
@@ -100,64 +104,75 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := s.dispatch(req)
+		resp := dispatch(s.svc, req)
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req rpcRequest) rpcResponse {
+// dispatch executes one wire request against svc. It is shared by the JSON
+// line Server and the framed FrameServer, which speak the same request and
+// response payloads and differ only in framing and concurrency.
+func dispatch(svc Service, req rpcRequest) rpcResponse {
 	var resp rpcResponse
+	var err error
 	switch req.Op {
 	case "put":
-		v, err := s.svc.PutBlob(req.Name, req.Data)
-		resp.Version = v
-		resp.Err = errString(err)
+		resp.Version, err = svc.PutBlob(req.Name, req.Data)
 	case "get":
-		b, err := s.svc.GetBlob(req.Name)
+		var b Blob
+		b, err = svc.GetBlob(req.Name)
 		if err == nil {
 			resp.Blob = &b
 		}
-		resp.Err = errString(err)
 	case "delete":
-		resp.Err = errString(s.svc.DeleteBlob(req.Name))
+		err = svc.DeleteBlob(req.Name)
 	case "list":
-		names, err := s.svc.ListBlobs(req.Prefix)
-		resp.Names = names
-		resp.Err = errString(err)
+		resp.Names, err = svc.ListBlobs(req.Prefix)
 	case "putb":
-		versions, err := PutBlobsVia(s.svc, req.Puts)
-		resp.Versions = versions
-		resp.Err = errString(err)
+		resp.Versions, err = PutBlobsVia(svc, req.Puts)
 	case "getb":
-		blobs, err := GetBlobsVia(s.svc, req.Names)
-		resp.Blobs = blobs
-		resp.Err = errString(err)
+		resp.Blobs, err = GetBlobsVia(svc, req.Names)
 	case "getc":
-		blobs, err := GetBlobsIfVia(s.svc, req.Gets)
-		resp.Blobs = blobs
-		resp.Err = errString(err)
+		resp.Blobs, err = GetBlobsIfVia(svc, req.Gets)
 	case "send":
-		resp.Err = errString(s.svc.Send(req.Message))
+		err = svc.Send(req.Message)
 	case "receive":
-		msgs, err := s.svc.Receive(req.Recipient, req.Max)
-		resp.Messages = msgs
-		resp.Err = errString(err)
+		resp.Messages, err = svc.Receive(req.Recipient, req.Max)
 	case "stats":
-		st := s.svc.Stats()
+		st := svc.Stats()
 		resp.Stats = &st
 	default:
 		resp.Err = fmt.Sprintf("cloud: unknown op %q", req.Op)
+		return resp
 	}
+	applyRespError(&resp, err)
 	return resp
 }
 
-func errString(err error) string {
+// applyRespError serializes err into resp, preserving the retry-after hint
+// of typed overload/quota rejections so the client can rebuild them.
+func applyRespError(resp *rpcResponse, err error) {
 	if err == nil {
-		return ""
+		return
 	}
-	return err.Error()
+	resp.Err = err.Error()
+	var retry time.Duration
+	var oe *OverloadError
+	var qe *QuotaError
+	switch {
+	case errors.As(err, &oe):
+		retry = oe.RetryAfter
+	case errors.As(err, &qe):
+		retry = qe.RetryAfter
+	default:
+		return
+	}
+	resp.RetryAfterMs = retry.Milliseconds()
+	if resp.RetryAfterMs == 0 && retry > 0 {
+		resp.RetryAfterMs = 1 // round sub-millisecond hints up, not to zero
+	}
 }
 
 // Client is a Service implementation that talks to a remote Server.
@@ -225,6 +240,9 @@ func unknownOp(resp rpcResponse) bool {
 	return strings.Contains(resp.Err, "unknown op")
 }
 
+// respError turns a wire response back into the error the server-side
+// Service returned, reconstructing the typed sentinels and the retry-after
+// carrying OverloadError/QuotaError so errors.Is/As work across the wire.
 func respError(resp rpcResponse) error {
 	switch resp.Err {
 	case "":
@@ -233,9 +251,18 @@ func respError(resp rpcResponse) error {
 		return ErrBlobNotFound
 	case ErrUnavailable.Error():
 		return ErrUnavailable
-	default:
-		return errors.New(resp.Err)
+	case ErrMailboxEmpty.Error():
+		return ErrMailboxEmpty
 	}
+	retry := time.Duration(resp.RetryAfterMs) * time.Millisecond
+	if strings.HasPrefix(resp.Err, "cloud: overloaded") {
+		return &OverloadError{RetryAfter: retry}
+	}
+	var tenant, resource string
+	if _, err := fmt.Sscanf(resp.Err, "cloud: tenant %q over %s quota", &tenant, &resource); err == nil {
+		return &QuotaError{Tenant: tenant, Resource: resource, RetryAfter: retry}
+	}
+	return errors.New(resp.Err)
 }
 
 // PutBlob implements Service.

@@ -1,0 +1,191 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTenantIsolation checks that two tenants sharing one backend cannot
+// see each other's blobs or mailboxes, and that names round-trip without
+// the namespace prefix leaking.
+func TestTenantIsolation(t *testing.T) {
+	mem := NewMemory()
+	tenants := NewTenants(mem)
+	for _, name := range []string{"acme", "globex"} {
+		if err := tenants.Define(name, TenantQuota{}); err != nil {
+			t.Fatalf("Define(%s): %v", name, err)
+		}
+	}
+	acme, err := tenants.View("acme")
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	globex, err := tenants.View("globex")
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+
+	if _, err := acme.PutBlob("vault/doc", []byte("acme-secret")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if _, err := globex.GetBlob("vault/doc"); err != ErrBlobNotFound {
+		t.Fatalf("cross-tenant read: %v, want ErrBlobNotFound", err)
+	}
+	b, err := acme.GetBlob("vault/doc")
+	if err != nil || b.Name != "vault/doc" {
+		t.Fatalf("own read: %+v %v (prefix must not leak)", b, err)
+	}
+	names, err := acme.ListBlobs("")
+	if err != nil || len(names) != 1 || names[0] != "vault/doc" {
+		t.Fatalf("list: %v %v", names, err)
+	}
+	if names, _ := globex.ListBlobs(""); len(names) != 0 {
+		t.Fatalf("globex sees acme blobs: %v", names)
+	}
+
+	if err := acme.Send(Message{From: "a", To: "inbox", Body: []byte("hi")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if msgs, _ := globex.Receive("inbox", 10); len(msgs) != 0 {
+		t.Fatalf("globex drained acme mailbox: %v", msgs)
+	}
+	msgs, err := acme.Receive("inbox", 10)
+	if err != nil || len(msgs) != 1 || msgs[0].To != "inbox" {
+		t.Fatalf("receive: %v %v (prefix must not leak)", msgs, err)
+	}
+
+	// The backend actually stores everything namespaced.
+	raw, _ := mem.ListBlobs("")
+	if len(raw) != 1 || raw[0] != "t/acme/vault/doc" {
+		t.Fatalf("backend names = %v", raw)
+	}
+}
+
+// TestTenantUnknownAndInvalid covers registry edge cases: views of unknown
+// tenants fail, names containing the namespace delimiter are rejected, and
+// re-defining keeps usage counters.
+func TestTenantUnknownAndInvalid(t *testing.T) {
+	tenants := NewTenants(NewMemory())
+	if _, err := tenants.View("nobody"); err == nil {
+		t.Fatal("View of unknown tenant succeeded")
+	}
+	if err := tenants.Define("a/b", TenantQuota{}); err == nil {
+		t.Fatal("tenant name with '/' accepted")
+	}
+	if err := tenants.Define("", TenantQuota{}); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if err := tenants.Define("acme", TenantQuota{MaxBytes: 10}); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	v, _ := tenants.View("acme")
+	if _, err := v.PutBlob("d", []byte("12345")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Re-provision with a larger budget: usage must carry over.
+	if err := tenants.Define("acme", TenantQuota{MaxBytes: 100}); err != nil {
+		t.Fatalf("redefine: %v", err)
+	}
+	u, ok := tenants.Usage("acme")
+	if !ok || u.BytesWritten != 5 {
+		t.Fatalf("usage after redefine = %+v %v", u, ok)
+	}
+}
+
+// TestTenantByteQuotaExhaustion fills a byte budget and checks the typed
+// rejection: writes past the budget fail with a QuotaError naming the
+// tenant and the "bytes" resource, before touching the backend; reads and
+// deletes still work.
+func TestTenantByteQuotaExhaustion(t *testing.T) {
+	mem := NewMemory()
+	tenants := NewTenants(mem)
+	if err := tenants.Define("capped", TenantQuota{MaxBytes: 100}); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	v, _ := tenants.View("capped")
+
+	if _, err := v.PutBlob("a", make([]byte, 60)); err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	putsBefore := mem.Stats().Puts
+	_, err := v.PutBlob("b", make([]byte, 60)) // 120 > 100
+	var qe *QuotaError
+	if !errors.Is(err, ErrQuotaExceeded) || !errors.As(err, &qe) {
+		t.Fatalf("over-budget put: %v", err)
+	}
+	if qe.Tenant != "capped" || qe.Resource != "bytes" {
+		t.Fatalf("wrong quota error: %+v", qe)
+	}
+	if mem.Stats().Puts != putsBefore {
+		t.Fatal("rejected put reached the backend")
+	}
+	// Batches are charged as a unit: a batch that would cross fails whole.
+	_, err = v.PutBlobs([]BlobPut{
+		{Name: "c", Data: make([]byte, 30)},
+		{Name: "d", Data: make([]byte, 30)},
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-budget batch: %v", err)
+	}
+	// Still room for a small write, and reads are free.
+	if _, err := v.PutBlob("e", make([]byte, 30)); err != nil {
+		t.Fatalf("in-budget put after rejection: %v", err)
+	}
+	if _, err := v.GetBlob("a"); err != nil {
+		t.Fatalf("read under byte exhaustion: %v", err)
+	}
+	// Deletes never refund: after deleting everything the budget stays spent.
+	if err := v.DeleteBlob("a"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := v.PutBlob("f", make([]byte, 60)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("delete refunded the byte budget: %v", err)
+	}
+	u, _ := tenants.Usage("capped")
+	if u.BytesWritten != 90 || u.Rejected == 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+// TestTenantOpsQuotaExhaustion drives an ops/sec token bucket dry with a
+// fake clock and checks the retry-after hint: rejected at t, admitted again
+// once the bucket refills.
+func TestTenantOpsQuotaExhaustion(t *testing.T) {
+	tenants := NewTenants(NewMemory())
+	if err := tenants.Define("ratey", TenantQuota{OpsPerSec: 10, Burst: 5}); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	now := time.Unix(1000, 0)
+	tenants.now = func() time.Time { return now }
+	v, _ := tenants.View("ratey")
+
+	for i := 0; i < 5; i++ { // drain the burst
+		if _, err := v.PutBlob("d", []byte("x")); err != nil {
+			t.Fatalf("burst put %d: %v", i, err)
+		}
+	}
+	_, err := v.PutBlob("d", []byte("x"))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "ops" {
+		t.Fatalf("dry bucket: %v", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > 200*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~100ms for 1 token at 10/s", qe.RetryAfter)
+	}
+	// Waiting the hinted time makes the same request admissible.
+	now = now.Add(qe.RetryAfter)
+	if _, err := v.PutBlob("d", []byte("x")); err != nil {
+		t.Fatalf("put after hinted wait: %v", err)
+	}
+	// A batch larger than the bucket can ever hold is charged as its length
+	// and rejected in one piece.
+	now = now.Add(10 * time.Second)
+	big := make([]BlobPut, 50)
+	for i := range big {
+		big[i] = BlobPut{Name: "b", Data: []byte("x")}
+	}
+	if _, err := v.PutBlobs(big); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"trustedcells/internal/cloud"
+)
+
+// ---------------------------------------------------------------------------
+// E14 — fleet scale: tail latency and admission control under skew
+// ---------------------------------------------------------------------------
+
+// E14Config parameterises the fleet-scale experiment: an open-loop,
+// zipf-skewed document workload from 100k–1M simulated cells, through
+// per-tenant framed connections, against one durable-backed front door
+// (the exact stack cmd/tccloud wires: durable store → admission control →
+// tenant namespaces → framed protocol, over a real loopback socket).
+type E14Config struct {
+	// FleetSizes are the simulated cell populations to sweep.
+	FleetSizes []int
+	// Requests is the number of open-loop requests per run.
+	Requests int
+	// RatePerSec is the offered request arrival rate (each request moves
+	// BatchSize documents).
+	RatePerSec float64
+	// Workers is the load-generator goroutine count.
+	Workers int
+	// Tenants is how many tenant namespaces share the front door; cells
+	// are partitioned across them.
+	Tenants int
+	// BatchSize, PayloadSize, ReadFraction, ZipfS shape each request; see
+	// FleetLoad.
+	BatchSize    int
+	PayloadSize  int
+	ReadFraction float64
+	ZipfS        float64
+	// Shards is the durable store's stripe count; MemtableBytes sizes each
+	// shard's memtable.
+	Shards        int
+	MemtableBytes int
+	// MaxInFlight is the admission controller's weighted in-flight budget.
+	MaxInFlight int64
+	// OverloadFactor, when > 1, adds a saturation phase at the headline
+	// fleet size: the same workload re-offered at OverloadFactor × the
+	// rate against a deliberately small admission budget, demonstrating
+	// typed shedding with a bounded tail instead of collapse.
+	OverloadFactor float64
+	// OverloadMaxInFlight is the admission budget of the saturation phase.
+	OverloadMaxInFlight int64
+}
+
+// DefaultE14Config sweeps 100k and 1M cells at ~10k docs/s offered, with a
+// 5x overload phase at 100k cells.
+func DefaultE14Config() E14Config {
+	return E14Config{
+		FleetSizes:          []int{100_000, 1_000_000},
+		Requests:            3_000,
+		RatePerSec:          600,
+		Workers:             64,
+		Tenants:             4,
+		BatchSize:           16,
+		PayloadSize:         256,
+		ReadFraction:        0.25,
+		ZipfS:               1.2,
+		Shards:              cloud.DefaultShards,
+		MemtableBytes:       1 << 20,
+		MaxInFlight:         1024,
+		OverloadFactor:      5,
+		OverloadMaxInFlight: 64,
+	}
+}
+
+// E14Result is the outcome of one fleet size (or one overload phase).
+type E14Result struct {
+	Cells               int
+	Offered             float64 // offered docs/sec
+	Sustained           float64 // completed docs/sec
+	P50, P99, P999, Max time.Duration
+	Completed, Shed     int64
+	ShedPct             float64
+}
+
+// runE14Load stands up the full front door and drives one open-loop run.
+func runE14Load(cfg E14Config, cells int, rate float64, maxInFlight int64) (*E14Result, error) {
+	dir, err := os.MkdirTemp("", "tc-e14-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dur, err := cloud.OpenDurable(dir, cloud.DurableOptions{
+		Shards:        cfg.Shards,
+		MemtableBytes: cfg.MemtableBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer dur.Close()
+
+	adm := cloud.NewAdmission(dur, cloud.AdmissionOptions{MaxInFlight: maxInFlight})
+	tenants := cloud.NewTenants(adm)
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		if err := tenants.Define(fmt.Sprintf("tenant-%d", ti), cloud.TenantQuota{}); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := cloud.NewFrameServer(adm, cloud.FrameServerOptions{Tenants: tenants})
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	clients := make([]cloud.Service, cfg.Tenants)
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		fc, err := cloud.DialFramed(ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		defer fc.Close()
+		if err := fc.Hello(fmt.Sprintf("tenant-%d", ti)); err != nil {
+			return nil, err
+		}
+		clients[ti] = fc
+	}
+
+	fleet, err := NewFleet(cells, []byte("e14"))
+	if err != nil {
+		return nil, err
+	}
+	load := FleetLoad{
+		Requests:     cfg.Requests,
+		RatePerSec:   rate,
+		Workers:      cfg.Workers,
+		BatchSize:    cfg.BatchSize,
+		PayloadSize:  cfg.PayloadSize,
+		ReadFraction: cfg.ReadFraction,
+		ZipfS:        cfg.ZipfS,
+		Seed:         14,
+	}
+	lr, err := RunLoad(fleet, clients, load)
+	if err != nil {
+		return nil, err
+	}
+	res := &E14Result{
+		Cells:     cells,
+		Offered:   load.OfferedOpsPerSec(),
+		Sustained: lr.SustainedOpsPerSec(),
+		P50:       lr.Latency.Quantile(0.50),
+		P99:       lr.Latency.Quantile(0.99),
+		P999:      lr.Latency.Quantile(0.999),
+		Max:       lr.Latency.Max(),
+		Completed: lr.Completed,
+		Shed:      lr.Shed,
+	}
+	if total := lr.Completed + lr.Shed; total > 0 {
+		res.ShedPct = 100 * float64(lr.Shed) / float64(total)
+	}
+	return res, nil
+}
+
+func e14Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// RunE14 measures the repo's first latency distributions: sustained docs/s
+// and p50/p99/p999 from 100k–1M simulated cells hitting one durable-backed
+// multi-tenant framed front door with zipf-skewed activity, plus an
+// overload phase showing the admission controller shedding typed instead
+// of queuing unboundedly.
+func RunE14(cfg E14Config) (*Table, error) {
+	table := &Table{
+		ID:    "E14",
+		Title: "Fleet scale: tail latency under skew and admission control at the front door",
+		Headers: []string{"cells", "phase", "offered docs/s", "sustained",
+			"p50 ms", "p99 ms", "p999 ms", "max ms", "shed %"},
+		Notes: []string{
+			fmt.Sprintf("open-loop arrivals at fixed rate (latency from scheduled arrival — no coordinated omission), zipf(s=%.1f) cell skew, %d%% reads, batches of %d × %d B sealed docs",
+				cfg.ZipfS, int(cfg.ReadFraction*100), cfg.BatchSize, cfg.PayloadSize),
+			fmt.Sprintf("full front-door stack in one process: durable store (%d shards) → admission (max-inflight %d) → %d tenant namespaces → framed protocol over loopback TCP",
+				cfg.Shards, cfg.MaxInFlight, cfg.Tenants),
+			"a cell at rest is one 4-byte sequence counter; keys, AEAD cache and connections are fleet-shared (1M cells ≈ 4 MB)",
+			fmt.Sprintf("overload phase: same workload at %.0fx the rate against a max-inflight budget of %d — shed requests get a typed retry-after error and are excluded from latency",
+				cfg.OverloadFactor, cfg.OverloadMaxInFlight),
+		},
+	}
+	headline := cfg.FleetSizes[0]
+	for _, cells := range cfg.FleetSizes {
+		if cells == 100_000 {
+			headline = cells
+		}
+	}
+	for _, cells := range cfg.FleetSizes {
+		res, err := runE14Load(cfg, cells, cfg.RatePerSec, cfg.MaxInFlight)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprintf("%d", cells), "steady",
+			fmt.Sprintf("%.0f", res.Offered),
+			fmt.Sprintf("%.0f", res.Sustained),
+			e14Ms(res.P50), e14Ms(res.P99), e14Ms(res.P999), e14Ms(res.Max),
+			fmt.Sprintf("%.1f%%", res.ShedPct))
+		if cells == headline {
+			table.SetMetric("ops_per_sec", res.Sustained)
+			table.SetMetric("p50_ms", float64(res.P50.Microseconds())/1000)
+			table.SetMetric("p99_ms", float64(res.P99.Microseconds())/1000)
+			table.SetMetric("p999_ms", float64(res.P999.Microseconds())/1000)
+			table.SetMetric("shed_requests", float64(res.Shed))
+		}
+	}
+	if cfg.OverloadFactor > 1 {
+		res, err := runE14Load(cfg, headline, cfg.RatePerSec*cfg.OverloadFactor, cfg.OverloadMaxInFlight)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprintf("%d", headline), "overload",
+			fmt.Sprintf("%.0f", res.Offered),
+			fmt.Sprintf("%.0f", res.Sustained),
+			e14Ms(res.P50), e14Ms(res.P99), e14Ms(res.P999), e14Ms(res.Max),
+			fmt.Sprintf("%.1f%%", res.ShedPct))
+		table.SetMetric("overload_shed_pct", res.ShedPct)
+	}
+	return table, nil
+}

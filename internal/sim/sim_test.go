@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(ids))
 	}
 }
 

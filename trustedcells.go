@@ -279,6 +279,78 @@ func OpenDurableCloud(dir string, opts DurableCloudOptions) (*DurableCloud, erro
 // DialCloud connects to a tccloud server over TCP and returns a CloudService.
 func DialCloud(addr string) (CloudService, error) { return cloud.Dial(addr) }
 
+// FramedCloudClient is the connection-multiplexed cloud client: one TCP
+// connection carries any number of concurrent requests as length-prefixed,
+// request-id-tagged frames, so batch operations cost one round-trip instead
+// of one per blob. It implements the full CloudService, batch and
+// conditional-fetch contracts and is safe for concurrent use by any number
+// of goroutines (see DialFramedCloud and DESIGN.md §11.2).
+type FramedCloudClient = cloud.FrameClient
+
+// DialFramedCloud connects to a tccloud framed listener (its -framed-addr)
+// and returns the multiplexed client. Call Hello on the client to bind the
+// connection to a tenant namespace when the server defines tenants.
+func DialFramedCloud(addr string) (*FramedCloudClient, error) { return cloud.DialFramed(addr) }
+
+// CloudTenants is a multi-tenant front door over any cloud provider:
+// per-tenant namespaces (isolated blob and mailbox name spaces) with
+// per-tenant byte and operation-rate quotas (see NewCloudTenants,
+// TenantQuota and DESIGN.md §11.3).
+type CloudTenants = cloud.Tenants
+
+// TenantQuota bounds one tenant: cumulative written bytes and a sustained
+// operations-per-second rate with burst headroom. Zero fields are unlimited.
+type TenantQuota = cloud.TenantQuota
+
+// TenantCloudView is one tenant's view of a shared provider — the full
+// CloudService, batch and conditional-fetch contracts, transparently
+// namespaced and quota-charged (see CloudTenants.View).
+type TenantCloudView = cloud.TenantView
+
+// TenantUsage is a point-in-time snapshot of one tenant's consumption.
+type TenantUsage = cloud.TenantUsage
+
+// NewCloudTenants wraps inner with a tenant registry; define tenants with
+// Define, then hand each tenant its View (or bind framed connections with
+// FramedCloudClient.Hello).
+func NewCloudTenants(inner CloudService) *CloudTenants { return cloud.NewTenants(inner) }
+
+// CloudAdmission is the front door's overload valve: a weighted in-flight
+// budget over writes. When the budget is exhausted — the signature of the
+// durable store's group committer saturating — new writes are shed
+// immediately with a typed retry-after error instead of queuing without
+// bound (see NewCloudAdmission and DESIGN.md §11.4).
+type CloudAdmission = cloud.Admission
+
+// CloudAdmissionOptions configure the admission valve; the zero value uses
+// the defaults.
+type CloudAdmissionOptions = cloud.AdmissionOptions
+
+// CloudAdmissionStats counts admitted and shed write weight.
+type CloudAdmissionStats = cloud.AdmissionStats
+
+// NewCloudAdmission wraps inner with admission control.
+func NewCloudAdmission(inner CloudService, opts CloudAdmissionOptions) *CloudAdmission {
+	return cloud.NewAdmission(inner, opts)
+}
+
+// ErrCloudOverloaded and ErrTenantQuotaExceeded are the typed backpressure
+// sentinels of the front door; match with errors.Is. Both cross the framed
+// wire intact, and both carry a retry hint in their concrete types
+// (CloudOverloadError, CloudQuotaError — match with errors.As).
+var (
+	ErrCloudOverloaded     = cloud.ErrOverloaded
+	ErrTenantQuotaExceeded = cloud.ErrQuotaExceeded
+)
+
+// CloudOverloadError is the concrete shed error: it unwraps to
+// ErrCloudOverloaded and carries the server's retry-after hint.
+type CloudOverloadError = cloud.OverloadError
+
+// CloudQuotaError is the concrete quota rejection: it unwraps to
+// ErrTenantQuotaExceeded and names the tenant and exhausted resource.
+type CloudQuotaError = cloud.QuotaError
+
 // ReplicatedCloud stripes the full cloud contracts over N member providers —
 // any mix of in-memory, durable and dialed TCP backends — with quorum writes,
 // quorum reads with read repair, hinted handoff for members that go dark, and
@@ -360,8 +432,41 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e15, fig1) with
-// its default configuration and returns the result table.
+// Fleet is a population of simulated cells cheap enough to scale to
+// millions: one 4-byte sequence counter per cell at rest, with sealing keys
+// and AEAD machinery shared fleet-wide (see NewFleet, RunFleetLoad and
+// DESIGN.md §11.1). Experiment E14 drives a fleet against the multi-tenant
+// framed front door.
+type Fleet = sim.Fleet
+
+// FleetLoad parameterises one open-loop run against a fleet: requests fire
+// on a fixed arrival schedule and latency is measured from each request's
+// scheduled arrival, so a slow server cannot hide its queueing delay
+// (coordinated omission).
+type FleetLoad = sim.FleetLoad
+
+// FleetLoadResult is the outcome of one open-loop run: completed vs shed
+// request counts, documents moved, and the latency distribution.
+type FleetLoadResult = sim.FleetLoadResult
+
+// FleetLatencyRecorder is a fixed-size lock-free log-linear latency
+// histogram (~3% relative error) safe for concurrent recording.
+type FleetLatencyRecorder = sim.LatencyRecorder
+
+// NewFleet builds a fleet of n simulated cells with a deterministic sealing
+// key derived from seed.
+func NewFleet(n int, seed []byte) (*Fleet, error) { return sim.NewFleet(n, seed) }
+
+// RunFleetLoad drives the fleet against one or more cloud clients — one per
+// tenant when clients are framed per-tenant connections — with an open-loop
+// schedule. Typed overload and quota rejections count as shed; any other
+// error aborts the run.
+func RunFleetLoad(f *Fleet, clients []CloudService, load FleetLoad) (*FleetLoadResult, error) {
+	return sim.RunLoad(f, clients, load)
+}
+
+// RunExperiment runs one of the DESIGN.md experiments (e1..e15, e18, fig1)
+// with its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
 // ExperimentIDs lists the available experiment identifiers.

@@ -2,6 +2,7 @@ package trustedcells
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -184,5 +185,61 @@ func TestFacadeQueryPipeline(t *testing.T) {
 	}
 	if len(res.Documents) != 3 || res.Merged.At(0).Value != 600 {
 		t.Fatalf("merged result %+v", res)
+	}
+}
+
+// TestFacadeFrontDoorAndFleet exercises the multi-tenant front-door exports
+// end to end: admission + tenants over the in-memory cloud, a fleet driven
+// through per-tenant views, and the typed backpressure sentinels.
+func TestFacadeFrontDoorAndFleet(t *testing.T) {
+	adm := NewCloudAdmission(NewMemoryCloud(), CloudAdmissionOptions{})
+	tenants := NewCloudTenants(adm)
+	for _, name := range []string{"acme", "globex"} {
+		if err := tenants.Define(name, TenantQuota{}); err != nil {
+			t.Fatalf("Define(%s): %v", name, err)
+		}
+	}
+	acme, err := tenants.View("acme")
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	globex, err := tenants.View("globex")
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+
+	fleet, err := NewFleet(64, []byte("facade"))
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	res, err := RunFleetLoad(fleet, []CloudService{acme, globex}, FleetLoad{
+		Requests: 40, RatePerSec: 2_000, Workers: 4,
+		BatchSize: 4, PayloadSize: 64, ReadFraction: 0.25, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("RunFleetLoad: %v", err)
+	}
+	if res.Completed != 40 || res.Shed != 0 || res.DocsWritten == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Latency.Quantile(0.99) <= 0 {
+		t.Fatalf("no latency recorded")
+	}
+
+	// Quota exhaustion surfaces as the typed sentinel with its details.
+	if err := tenants.Define("tiny", TenantQuota{MaxBytes: 1}); err != nil {
+		t.Fatalf("Define(tiny): %v", err)
+	}
+	tiny, err := tenants.View("tiny")
+	if err != nil {
+		t.Fatalf("View(tiny): %v", err)
+	}
+	_, err = tiny.PutBlob("vault/doc", bytes.Repeat([]byte{1}, 16))
+	if !errors.Is(err, ErrTenantQuotaExceeded) {
+		t.Fatalf("want quota error, got %v", err)
+	}
+	var qe *CloudQuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "tiny" || qe.Resource != "bytes" {
+		t.Fatalf("quota detail %+v", qe)
 	}
 }
