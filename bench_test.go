@@ -373,6 +373,54 @@ func BenchmarkE15ReplicatedCloud(b *testing.B) {
 	}
 }
 
+// BenchmarkE17ByzantineQuarantine measures experiment E17 at 10k documents:
+// drop/rollback/fork attacks against the durable provider and the replicated
+// fleet. Detection within one exchange, zero false positives and quorum
+// availability during quarantine are protocol properties, not machine-speed
+// numbers, so the benchmark enforces them; the reported metrics track the
+// detection latency and the attestation bytes overhead.
+func BenchmarkE17ByzantineQuarantine(b *testing.B) {
+	cfg := sim.DefaultE17Config()
+	const docs = 10_000
+	var detectMS, overheadPct, readablePct float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE17Size(cfg, docs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FalsePositives != 0 {
+			b.Fatalf("honest runs convicted: %d false positives", res.FalsePositives)
+		}
+		worstMS, worstReadable := 0.0, 100.0
+		for attack, d := range res.Durable {
+			if !d.Detected || d.Rounds != 1 {
+				b.Fatalf("durable %s attack: detected=%t rounds=%d, want one-exchange detection", attack, d.Detected, d.Rounds)
+			}
+			if d.DetectMS > worstMS {
+				worstMS = d.DetectMS
+			}
+		}
+		for attack, r := range res.Replicated {
+			if !r.Detected || r.Rounds != 1 || !r.Readmitted {
+				b.Fatalf("replicated %s attack: detected=%t rounds=%d readmitted=%t", attack, r.Detected, r.Rounds, r.Readmitted)
+			}
+			if r.ReadablePct < worstReadable {
+				worstReadable = r.ReadablePct
+			}
+			if r.DetectMS > worstMS {
+				worstMS = r.DetectMS
+			}
+		}
+		detectMS += worstMS
+		overheadPct += res.ProofOverheadPct
+		readablePct += worstReadable
+	}
+	n := float64(b.N)
+	b.ReportMetric(detectMS/n, "detect-ms")
+	b.ReportMetric(overheadPct/n, "proof-overhead-%")
+	b.ReportMetric(readablePct/n, "quarantine-readable-%")
+}
+
 // BenchmarkE18ReadFastPath measures experiment E18 at 10k documents: point,
 // hot-set, negative and mixed reads against the durable provider with the
 // fast path on (per-run bloom filters + shared block cache) vs off. The bloom

@@ -10,10 +10,11 @@
 //
 //	tccloud -addr :7070 -data-dir /var/lib/tccloud
 //
-// The in-memory server can be started with an adversarial behaviour to
-// demonstrate that cells detect integrity attacks:
+// The server — in-memory or durable — can be started with an adversarial
+// behaviour to demonstrate that cells detect integrity, rollback and fork
+// attacks (the adversary is a wrapper over whichever backend is selected):
 //
-//	tccloud -addr :7070 -adversary tampering -rate 0.01
+//	tccloud -addr :7070 -data-dir /var/lib/tccloud -adversary rollback -rate 1
 //
 // With -member the server becomes the coordinator of a replicated fleet: its
 // own store (in-memory or durable) is member 0, each -member address is
@@ -162,8 +163,8 @@ func main() {
 		retryAfter = flag.Duration("retry-after", 25*time.Millisecond, "with -framed-addr: backoff hint attached to shed requests")
 		dataDir    = flag.String("data-dir", "", "directory for the durable disk-backed store (empty = in-memory)")
 		shards     = flag.Int("shards", cloud.DefaultShards, "shard count (fixed at first open for a durable store)")
-		adversary  = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping (in-memory only)")
-		rate       = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping modes")
+		adversary  = flag.String("adversary", "honest", "adversary mode: honest, curious, tampering, replaying, dropping, rollback, fork (wraps any backend)")
+		rate       = flag.Float64("rate", 0.01, "misbehaviour probability for tampering/replaying/dropping/rollback modes")
 		seed       = flag.Int64("seed", 1, "adversary random seed")
 		quorumW    = flag.Int("quorum-w", 0, "with -member: write quorum W (default majority of the fleet)")
 		quorumR    = flag.Int("quorum-r", 0, "with -member: read quorum R (default majority of the fleet)")
@@ -189,6 +190,11 @@ func main() {
 	case "dropping":
 		cfg.Mode = cloud.Dropping
 		cfg.DropRate = *rate
+	case "rollback":
+		cfg.Mode = cloud.Rollback
+		cfg.RollbackRate = *rate
+	case "fork":
+		cfg.Mode = cloud.Fork
 	default:
 		fmt.Fprintf(os.Stderr, "unknown adversary mode %q\n", *adversary)
 		os.Exit(2)
@@ -197,10 +203,6 @@ func main() {
 	var svc cloud.Service
 	var durable *cloud.Durable
 	if *dataDir != "" {
-		if cfg.Mode != cloud.Honest {
-			fmt.Fprintln(os.Stderr, "adversary injection is an in-memory feature; -data-dir requires -adversary honest")
-			os.Exit(2)
-		}
 		opts := cloud.DefaultDurableOptions()
 		opts.Shards = *shards
 		d, err := cloud.OpenDurable(*dataDir, opts)
@@ -222,17 +224,20 @@ func main() {
 		}
 		svc, durable = d, d
 	} else {
-		svc = cloud.NewMemoryWithAdversary(cfg)
+		svc = cloud.NewMemory()
+	}
+	if cfg.Mode != cloud.Honest {
+		// The adversary is a backend-agnostic wrapper, so the durable store
+		// misbehaves exactly like the in-memory one — and as member 0 of a
+		// replicated fleet below, it is the Byzantine member the quarantine
+		// machinery detects and routes around.
+		svc = cloud.NewAdversary(svc, cfg)
 	}
 
 	// Dial-out mode: the local store is member 0 of a replicated fleet and
 	// clients are served the replication layer instead of the bare store.
 	var replicated *cloud.Replicated
 	if len(members) > 0 {
-		if cfg.Mode != cloud.Honest {
-			fmt.Fprintln(os.Stderr, "adversary injection applies to a single store; -member requires -adversary honest")
-			os.Exit(2)
-		}
 		// Members are wrapped in a Redialer rather than dialed once: a member
 		// that restarts gets a fresh connection on its next probe, so the
 		// hint drain can bring it back (a plain Client would pin the dead

@@ -4,7 +4,9 @@ package trustedcells_test
 // drift from the actual API.
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"trustedcells"
 )
@@ -83,4 +85,55 @@ func ExampleCell_IngestBatch() {
 	}
 	fmt.Printf("ingested=%d catalog=%d\n", len(docs), cell.Catalog().Len())
 	// Output: ingested=4 catalog=4
+}
+
+// Example_rollbackDetection is the README's authenticated-catalog drill: a
+// provider that rolls a catalog shard back to an older (correctly sealed,
+// correctly versioned) state is convicted by the victim's very next
+// exchange, from the signed Merkle root and monotonic epoch countersigned
+// into every shard.
+func Example_rollbackDetection() {
+	// A weakly-malicious provider: honest until switched, then serving
+	// rolled-back bytes under current version numbers on every read.
+	adv := trustedcells.NewAdversaryCloud(trustedcells.NewMemoryCloud(),
+		trustedcells.AdversaryCloudConfig{Seed: 1, RollbackRate: 1})
+
+	key, err := trustedcells.NewReplicaKey()
+	if err != nil {
+		fmt.Println("new key:", err)
+		return
+	}
+	note := func(id string) *trustedcells.Document {
+		return &trustedcells.Document{
+			ID: id, Owner: "alice", Type: "note",
+			Class: trustedcells.ClassAuthored, CreatedAt: time.Unix(1700000000, 0),
+		}
+	}
+	gateway := trustedcells.NewReplicaShards("alice/gateway", "alice", key, adv, 1)
+	phone := trustedcells.NewReplicaShards("alice/phone", "alice", key, adv, 1)
+
+	// The gateway publishes the catalog; the phone witnesses epoch 1.
+	gateway.Upsert(note("doc-1"))
+	if err := gateway.Sync(); err != nil {
+		fmt.Println("gateway sync:", err)
+		return
+	}
+	if err := phone.Sync(); err != nil {
+		fmt.Println("phone sync:", err)
+		return
+	}
+
+	// The gateway publishes epoch 2 — and the provider starts serving the
+	// retained epoch-1 bytes in its place.
+	gateway.Upsert(note("doc-2"))
+	if err := gateway.Sync(); err != nil {
+		fmt.Println("gateway sync:", err)
+		return
+	}
+	adv.SetMode(trustedcells.AdversaryRollback)
+
+	// One exchange convicts the provider with a typed verdict.
+	err = phone.Sync()
+	fmt.Println("rollback detected:", errors.Is(err, trustedcells.ErrRollbackDetected))
+	// Output: rollback detected: true
 }

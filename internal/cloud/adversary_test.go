@@ -1,0 +1,190 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+)
+
+// adversaryBackends are the honest substrates the wrapper is exercised over:
+// the whole point of lifting the adversary out of Memory is that the durable
+// store faces the same attacks.
+func adversaryBackends(t *testing.T) map[string]func(t *testing.T) Service {
+	return map[string]func(t *testing.T) Service{
+		"memory": func(t *testing.T) Service { return NewMemory() },
+		"durable": func(t *testing.T) Service {
+			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 2})
+			if err != nil {
+				t.Fatalf("OpenDurable: %v", err)
+			}
+			t.Cleanup(func() { _ = d.Close() })
+			return d
+		},
+	}
+}
+
+func TestRollbackAdversary(t *testing.T) {
+	for name, mk := range adversaryBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := NewAdversary(mk(t), AdversaryConfig{Mode: Rollback, RollbackRate: 1.0, Seed: 7})
+			if _, err := a.PutBlob("doc", []byte("version-1")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.PutBlob("doc", []byte("version-2")); err != nil {
+				t.Fatal(err)
+			}
+			b, err := a.GetBlob("doc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The defining property of the rollback attack: stale bytes under
+			// the current version number, so version checks cannot catch it.
+			if b.Version != 2 {
+				t.Fatalf("rollback must keep the current version, got %d", b.Version)
+			}
+			if string(b.Data) != "version-1" {
+				t.Fatalf("expected rolled-back contents, got %q", b.Data)
+			}
+			if a.Stats().RolledBackBlobs == 0 {
+				t.Fatal("RolledBackBlobs not counted")
+			}
+			// The conditional read path is attacked identically.
+			blobs, err := a.GetBlobsIf([]CondGet{{Name: "doc", IfNewer: 0}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blobs[0].Version != 2 || string(blobs[0].Data) != "version-1" {
+				t.Fatalf("conditional read not rolled back: %+v", blobs[0])
+			}
+			// A blob with no history cannot be rolled back.
+			if _, err := a.PutBlob("fresh", []byte("only")); err != nil {
+				t.Fatal(err)
+			}
+			if b, _ := a.GetBlob("fresh"); string(b.Data) != "only" {
+				t.Fatalf("no-history blob mangled: %q", b.Data)
+			}
+		})
+	}
+}
+
+func TestForkAdversary(t *testing.T) {
+	for name, mk := range adversaryBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := NewAdversary(mk(t), AdversaryConfig{Mode: Honest, Seed: 7})
+			if _, err := a.PutBlob("doc", []byte("base")); err != nil {
+				t.Fatal(err)
+			}
+			a.SetMode(Fork)
+			va, vb := a.ClientView("alice"), a.ClientView("bob")
+
+			// Alice writes on her branch; Bob still sees the fork point.
+			v, err := va.PutBlob("doc", []byte("alice-1"))
+			if err != nil || v != 2 {
+				t.Fatalf("alice put: v=%d err=%v", v, err)
+			}
+			if b, _ := vb.GetBlob("doc"); string(b.Data) != "base" || b.Version != 1 {
+				t.Fatalf("bob crossed into alice's branch: %+v", b)
+			}
+			// Bob writes too: both branches now claim version 2 of doc, the
+			// equivocation an authenticated catalog convicts.
+			if v, _ := vb.PutBlob("doc", []byte("bob-1")); v != 2 {
+				t.Fatalf("bob's branch version = %d", v)
+			}
+			if b, _ := va.GetBlob("doc"); string(b.Data) != "alice-1" {
+				t.Fatalf("alice's view polluted: %q", b.Data)
+			}
+			if b, _ := vb.GetBlob("doc"); string(b.Data) != "bob-1" {
+				t.Fatalf("bob's view polluted: %q", b.Data)
+			}
+			// The backend froze at the fork point.
+			if b, _ := a.Inner().GetBlob("doc"); string(b.Data) != "base" {
+				t.Fatalf("backend advanced during fork: %q", b.Data)
+			}
+			// Conditional reads honour the branch's own version numbering.
+			blobs, err := vb.GetBlobsIf([]CondGet{{Name: "doc", IfNewer: 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blobs[0].Version != 2 || blobs[0].Data != nil {
+				t.Fatalf("unadvanced conditional read shipped data: %+v", blobs[0])
+			}
+			if a.Stats().ForkedBlobs == 0 {
+				t.Fatal("ForkedBlobs not counted")
+			}
+
+			// Healing the fork flushes the winner and drops every branch:
+			// Bob's acknowledged write vanished from history, which is exactly
+			// the view-crossing the sync layer's freshness audit detects.
+			if err := a.EndFork("alice"); err != nil {
+				t.Fatal(err)
+			}
+			if a.Mode() != Honest {
+				t.Fatalf("mode after EndFork = %v", a.Mode())
+			}
+			if b, _ := a.Inner().GetBlob("doc"); string(b.Data) != "alice-1" {
+				t.Fatalf("winner branch not flushed: %q", b.Data)
+			}
+			if b, _ := vb.GetBlob("doc"); string(b.Data) != "alice-1" {
+				t.Fatalf("bob still sees his dead branch: %q", b.Data)
+			}
+		})
+	}
+}
+
+func TestDroppingAdversaryOverDurable(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	a := NewAdversary(d, AdversaryConfig{Mode: Dropping, DropRate: 1.0, Seed: 7})
+	v, err := a.PutBlob("doc", []byte("x"))
+	if err != nil || v != 1 {
+		t.Fatalf("drop adversary should pretend success: v=%d err=%v", v, err)
+	}
+	if _, err := a.GetBlob("doc"); err != ErrBlobNotFound {
+		t.Fatalf("dropped blob should be missing from the durable store: %v", err)
+	}
+	if a.Stats().DroppedBlobs != 1 {
+		t.Fatalf("DroppedBlobs = %d", a.Stats().DroppedBlobs)
+	}
+}
+
+func TestAdversaryDroppedVersionsStayPlausible(t *testing.T) {
+	// The invented acknowledgements continue the real version sequence, so a
+	// client comparing acks to later reads sees a regression only because the
+	// data is missing — not because the numbers are absurd.
+	m := NewMemory()
+	if _, err := m.PutBlob("doc", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdversary(m, AdversaryConfig{Mode: Dropping, DropRate: 1.0, Seed: 7})
+	if v, _ := a.PutBlob("doc", []byte("v2")); v != 2 {
+		t.Fatalf("first dropped ack = %d, want 2", v)
+	}
+	if v, _ := a.PutBlob("doc", []byte("v3")); v != 3 {
+		t.Fatalf("second dropped ack = %d, want 3", v)
+	}
+	if b, _ := a.GetBlob("doc"); b.Version != 1 || string(b.Data) != "v1" {
+		t.Fatalf("backend should still hold v1: %+v", b)
+	}
+}
+
+func TestAdversaryStatsMergeAndBatches(t *testing.T) {
+	a := NewAdversary(NewMemory(), AdversaryConfig{Mode: Honest, Seed: 1})
+	puts := []BlobPut{{Name: "a", Data: []byte("1")}, {Name: "b", Data: []byte("2")}}
+	versions, err := a.PutBlobs(puts)
+	if err != nil || versions[0] != 1 || versions[1] != 1 {
+		t.Fatalf("PutBlobs: %v %v", versions, err)
+	}
+	blobs, err := a.GetBlobs([]string{"a", "b", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blobs[0].Data, []byte("1")) || !bytes.Equal(blobs[1].Data, []byte("2")) || blobs[2].Version != 0 {
+		t.Fatalf("GetBlobs: %+v", blobs)
+	}
+	st := a.Stats()
+	if st.Puts != 2 || st.BytesStored != 2 {
+		t.Fatalf("inner counters not merged: %+v", st)
+	}
+}

@@ -145,6 +145,8 @@ type Stats struct {
 	DroppedBlobs               int64
 	DroppedMessages            int64
 	ObservedBlobs              int64
+	RolledBackBlobs            int64
+	ForkedBlobs                int64
 }
 
 // AdversaryMode selects how the infrastructure misbehaves.
@@ -164,6 +166,17 @@ const (
 	Replaying
 	// Dropping silently loses blobs and messages with probability DropRate.
 	Dropping
+	// Rollback serves stale blob contents under the *current* version number
+	// with probability RollbackRate, so plain version checks pass and only an
+	// authenticated freshness protocol (signed Merkle roots + monotonic
+	// epochs, see the sync package) can convict the provider.
+	Rollback
+	// Fork serves divergent states to different clients: once active, writes
+	// are diverted into per-client branches (see Adversary.ClientView) and
+	// every client observes only its own branch — the equivocation attack of
+	// fork-consistency literature. Clients without a branch of their own are
+	// pinned to the fork-point state.
+	Fork
 )
 
 // String names the mode.
@@ -179,6 +192,10 @@ func (m AdversaryMode) String() string {
 		return "replaying"
 	case Dropping:
 		return "dropping"
+	case Rollback:
+		return "rollback"
+	case Fork:
+		return "fork"
 	default:
 		return fmt.Sprintf("adversary(%d)", int(m))
 	}
@@ -190,6 +207,9 @@ type AdversaryConfig struct {
 	TamperRate float64
 	ReplayRate float64
 	DropRate   float64
+	// RollbackRate is the probability that a read of an updated blob is
+	// answered with stale contents under the current version number.
+	RollbackRate float64
 	// Seed makes the adversary deterministic for reproducible experiments.
 	Seed int64
 }

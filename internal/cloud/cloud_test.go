@@ -143,7 +143,7 @@ func TestOutage(t *testing.T) {
 }
 
 func TestTamperingAdversary(t *testing.T) {
-	m := NewMemoryWithAdversary(AdversaryConfig{Mode: Tampering, TamperRate: 1.0, Seed: 7})
+	m := NewAdversary(NewMemory(), AdversaryConfig{Mode: Tampering, TamperRate: 1.0, Seed: 7})
 	original := []byte("sealed envelope bytes")
 	_, _ = m.PutBlob("victim", original)
 	b, err := m.GetBlob("victim")
@@ -159,7 +159,7 @@ func TestTamperingAdversary(t *testing.T) {
 }
 
 func TestReplayingAdversary(t *testing.T) {
-	m := NewMemoryWithAdversary(AdversaryConfig{Mode: Replaying, ReplayRate: 1.0, Seed: 7})
+	m := NewAdversary(NewMemory(), AdversaryConfig{Mode: Replaying, ReplayRate: 1.0, Seed: 7})
 	_, _ = m.PutBlob("doc", []byte("version-1"))
 	_, _ = m.PutBlob("doc", []byte("version-2"))
 	b, err := m.GetBlob("doc")
@@ -173,7 +173,7 @@ func TestReplayingAdversary(t *testing.T) {
 		t.Fatalf("ReplayedBlobs = %d", m.Stats().ReplayedBlobs)
 	}
 	// Before any update there is nothing to replay.
-	m2 := NewMemoryWithAdversary(AdversaryConfig{Mode: Replaying, ReplayRate: 1.0, Seed: 7})
+	m2 := NewAdversary(NewMemory(), AdversaryConfig{Mode: Replaying, ReplayRate: 1.0, Seed: 7})
 	_, _ = m2.PutBlob("doc", []byte("only"))
 	b, _ = m2.GetBlob("doc")
 	if string(b.Data) != "only" {
@@ -182,7 +182,7 @@ func TestReplayingAdversary(t *testing.T) {
 }
 
 func TestDroppingAdversary(t *testing.T) {
-	m := NewMemoryWithAdversary(AdversaryConfig{Mode: Dropping, DropRate: 1.0, Seed: 7})
+	m := NewAdversary(NewMemory(), AdversaryConfig{Mode: Dropping, DropRate: 1.0, Seed: 7})
 	if _, err := m.PutBlob("doc", []byte("x")); err != nil {
 		t.Fatalf("drop adversary should pretend success: %v", err)
 	}
@@ -201,7 +201,7 @@ func TestDroppingAdversary(t *testing.T) {
 }
 
 func TestHonestButCuriousObservations(t *testing.T) {
-	m := NewMemoryWithAdversary(AdversaryConfig{Mode: HonestButCurious, Seed: 7})
+	m := NewAdversary(NewMemory(), AdversaryConfig{Mode: HonestButCurious, Seed: 7})
 	payload := []byte("sealed bytes the provider can stare at")
 	_, _ = m.PutBlob("doc", payload)
 	obs := m.Observations()
@@ -219,7 +219,7 @@ func TestHonestButCuriousObservations(t *testing.T) {
 }
 
 func TestAdversaryModeString(t *testing.T) {
-	modes := []AdversaryMode{Honest, HonestButCurious, Tampering, Replaying, Dropping}
+	modes := []AdversaryMode{Honest, HonestButCurious, Tampering, Replaying, Dropping, Rollback, Fork}
 	seen := map[string]bool{}
 	for _, mode := range modes {
 		s := mode.String()

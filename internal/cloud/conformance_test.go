@@ -30,6 +30,11 @@ import (
 func serviceBackends(t *testing.T) map[string]func(t *testing.T) Service {
 	return map[string]func(t *testing.T) Service{
 		"memory": func(t *testing.T) Service { return NewMemory() },
+		// An honest Adversary must be behaviourally invisible: the wrapper is
+		// only allowed to change semantics when a malicious mode is active.
+		"adversary-honest": func(t *testing.T) Service {
+			return NewAdversary(NewMemory(), AdversaryConfig{Mode: Honest, Seed: 1})
+		},
 		"durable": func(t *testing.T) Service {
 			d, err := OpenDurable(t.TempDir(), DurableOptions{Shards: 4})
 			if err != nil {

@@ -16,6 +16,7 @@ package cloud
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,13 @@ type FaultyOptions struct {
 	// SpikeLatency on top of Latency.
 	SpikeRate    float64
 	SpikeLatency time.Duration
+	// CorruptRate is the per-blob probability that a read returns the stored
+	// bytes with one seeded bit flipped — the silent-corruption adversary
+	// (disk rot, a provider truncating or patching ciphertext). The flip is
+	// applied to a copy; the inner store is never mutated. Sealed blobs fail
+	// closed at the AEAD layer, which is exactly what the corruption drills
+	// assert.
+	CorruptRate float64
 }
 
 // FaultStats counts what the wrapper injected, so tests can assert the fault
@@ -69,6 +77,7 @@ type FaultStats struct {
 	MaskRejects   int64 // failures from the partition mask
 	LatencySpikes int64 // operations that paid SpikeLatency
 	PassedThrough int64 // operations forwarded to the inner service
+	Corrupted     int64 // blobs served with a flipped bit
 }
 
 // Faulty wraps a Service (and its batch extensions) with deterministic fault
@@ -82,6 +91,9 @@ type Faulty struct {
 	mask atomic.Int32
 	// flap packs the schedule as period<<32|downFor; zero disables it.
 	flap atomic.Uint64
+	// corrupt holds math.Float64bits of the live corruption rate, so
+	// SetCorrupt can flip it mid-run like the other switches.
+	corrupt atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -92,15 +104,18 @@ type Faulty struct {
 	maskRejects   atomic.Int64
 	spikes        atomic.Int64
 	passed        atomic.Int64
+	corrupted     atomic.Int64
 }
 
 // NewFaulty wraps inner with the given fault schedule.
 func NewFaulty(inner Service, opts FaultyOptions) *Faulty {
-	return &Faulty{
+	f := &Faulty{
 		inner: inner,
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
+	f.corrupt.Store(math.Float64bits(opts.CorruptRate))
+	return f
 }
 
 // Inner returns the wrapped service (tests inspect member state through it).
@@ -133,6 +148,10 @@ func (f *Faulty) SetFlap(period, downFor int) {
 // with ErrUnavailable. Zero clears the mask.
 func (f *Faulty) SetMask(mask OpClass) { f.mask.Store(int32(mask)) }
 
+// SetCorrupt sets the live per-blob corruption rate (see
+// FaultyOptions.CorruptRate); zero turns silent corruption off.
+func (f *Faulty) SetCorrupt(rate float64) { f.corrupt.Store(math.Float64bits(rate)) }
+
 // FaultStats returns a snapshot of the injection counters.
 func (f *Faulty) FaultStats() FaultStats {
 	return FaultStats{
@@ -143,7 +162,27 @@ func (f *Faulty) FaultStats() FaultStats {
 		MaskRejects:   f.maskRejects.Load(),
 		LatencySpikes: f.spikes.Load(),
 		PassedThrough: f.passed.Load(),
+		Corrupted:     f.corrupted.Load(),
 	}
+}
+
+// corruptBlob applies the seeded bit-flip schedule to one served blob. The
+// flip lands on a copy — the inner store keeps the true bytes, exactly like a
+// provider whose disk rots under an object it still holds.
+func (f *Faulty) corruptBlob(b Blob) Blob {
+	rate := math.Float64frombits(f.corrupt.Load())
+	if rate <= 0 || len(b.Data) == 0 || !f.chance(rate) {
+		return b
+	}
+	data := make([]byte, len(b.Data))
+	copy(data, b.Data)
+	f.rngMu.Lock()
+	bit := f.rng.Intn(len(data) * 8)
+	f.rngMu.Unlock()
+	data[bit/8] ^= 1 << (bit % 8)
+	b.Data = data
+	f.corrupted.Add(1)
+	return b
 }
 
 // chance draws a seeded coin.
@@ -205,7 +244,11 @@ func (f *Faulty) GetBlob(name string) (Blob, error) {
 	if err := f.checkIn(MaskReads); err != nil {
 		return Blob{}, err
 	}
-	return f.inner.GetBlob(name)
+	b, err := f.inner.GetBlob(name)
+	if err != nil {
+		return b, err
+	}
+	return f.corruptBlob(b), nil
 }
 
 // DeleteBlob implements Service.
@@ -253,21 +296,37 @@ func (f *Faulty) PutBlobs(puts []BlobPut) ([]int, error) {
 	return PutBlobsVia(f.inner, puts)
 }
 
-// GetBlobs implements BatchService with one fault decision per batch.
+// GetBlobs implements BatchService with one fault decision per batch; the
+// corruption schedule still draws per blob, since bit rot strikes objects,
+// not round trips.
 func (f *Faulty) GetBlobs(names []string) ([]Blob, error) {
 	if err := f.checkIn(MaskReads); err != nil {
 		return nil, err
 	}
-	return GetBlobsVia(f.inner, names)
+	blobs, err := GetBlobsVia(f.inner, names)
+	if err != nil {
+		return blobs, err
+	}
+	for i := range blobs {
+		blobs[i] = f.corruptBlob(blobs[i])
+	}
+	return blobs, nil
 }
 
 // GetBlobsIf implements ConditionalBatchService with one fault decision per
-// batch.
+// batch and per-blob corruption draws.
 func (f *Faulty) GetBlobsIf(gets []CondGet) ([]Blob, error) {
 	if err := f.checkIn(MaskReads); err != nil {
 		return nil, err
 	}
-	return GetBlobsIfVia(f.inner, gets)
+	blobs, err := GetBlobsIfVia(f.inner, gets)
+	if err != nil {
+		return blobs, err
+	}
+	for i := range blobs {
+		blobs[i] = f.corruptBlob(blobs[i])
+	}
+	return blobs, nil
 }
 
 // interface conformance

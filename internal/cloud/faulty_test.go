@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -187,5 +188,74 @@ func TestFaultyFlapRaceStress(t *testing.T) {
 	}
 	if st.FlapRejects == 0 || st.PassedThrough == 0 {
 		t.Fatalf("stress never exercised both paths: %+v", st)
+	}
+}
+
+// TestFaultyCorruptMode proves the silent-corruption schedule flips exactly
+// one bit per served copy, never mutates the inner store, and is
+// deterministic in the seed.
+func TestFaultyCorruptMode(t *testing.T) {
+	inner := NewMemory()
+	f := NewFaulty(inner, FaultyOptions{Seed: 5, CorruptRate: 1})
+	want := []byte("the true bytes of the blob")
+	if _, err := f.PutBlob("doc", want); err != nil {
+		t.Fatal(err)
+	}
+
+	diffBits := func(a, b []byte) int {
+		if len(a) != len(b) {
+			t.Fatalf("length changed: %d vs %d", len(a), len(b))
+		}
+		bits := 0
+		for i := range a {
+			for x := a[i] ^ b[i]; x != 0; x &= x - 1 {
+				bits++
+			}
+		}
+		return bits
+	}
+	got, err := f.GetBlob("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffBits(want, got.Data) != 1 {
+		t.Fatalf("served copy differs by %d bits, want exactly 1", diffBits(want, got.Data))
+	}
+	// The inner store still holds the true bytes.
+	if b, err := inner.GetBlob("doc"); err != nil || diffBits(want, b.Data) != 0 {
+		t.Fatalf("inner store mutated: %q %v", b.Data, err)
+	}
+	// Batch reads draw per blob.
+	blobs, err := f.GetBlobs([]string{"doc", "doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blobs {
+		if diffBits(want, b.Data) != 1 {
+			t.Fatalf("batch blob %d differs by %d bits, want 1", i, diffBits(want, b.Data))
+		}
+	}
+	if got := f.FaultStats().Corrupted; got != 3 {
+		t.Fatalf("Corrupted = %d, want 3", got)
+	}
+
+	// Off means off, and the same seed replays the same flips.
+	f.SetCorrupt(0)
+	if b, _ := f.GetBlob("doc"); diffBits(want, b.Data) != 0 {
+		t.Fatal("corruption fired while switched off")
+	}
+	replay := func() []byte {
+		g := NewFaulty(NewMemory(), FaultyOptions{Seed: 5, CorruptRate: 1})
+		if _, err := g.PutBlob("doc", want); err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.GetBlob("doc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Data
+	}
+	if !bytes.Equal(replay(), replay()) {
+		t.Fatal("identical seeds produced different flips")
 	}
 }

@@ -3,7 +3,6 @@ package cloud
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -22,14 +21,7 @@ const DefaultShards = 32
 type shard struct {
 	mu        sync.RWMutex
 	blobs     map[string]Blob
-	history   map[string][]Blob // previous versions, used by the replaying adversary
 	mailboxes map[string][]Message
-
-	// rngMu guards rng: adversarial decisions are taken under read locks too
-	// (a replaying adversary misbehaves on GetBlob), so the generator needs
-	// its own lock. Lock order is always shard.mu before rngMu.
-	rngMu sync.Mutex
-	rng   *rand.Rand
 }
 
 // counters is the atomic backing of Stats, so that hot-path operations on
@@ -38,27 +30,20 @@ type counters struct {
 	puts, gets, deletes, lists atomic.Int64
 	sends, receives            atomic.Int64
 	bytesStored                atomic.Int64
-	tamperedBlobs              atomic.Int64
-	replayedBlobs              atomic.Int64
-	droppedBlobs               atomic.Int64
-	droppedMessages            atomic.Int64
-	observedBlobs              atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
 		Puts: c.puts.Load(), Gets: c.gets.Load(), Deletes: c.deletes.Load(), Lists: c.lists.Load(),
 		Sends: c.sends.Load(), Receives: c.receives.Load(),
-		BytesStored:   c.bytesStored.Load(),
-		TamperedBlobs: c.tamperedBlobs.Load(), ReplayedBlobs: c.replayedBlobs.Load(),
-		DroppedBlobs: c.droppedBlobs.Load(), DroppedMessages: c.droppedMessages.Load(),
-		ObservedBlobs: c.observedBlobs.Load(),
+		BytesStored: c.bytesStored.Load(),
 	}
 }
 
-// Memory is an in-process implementation of Service with adversary
-// injection. It is the substrate for simulations; the TCP server in this
-// package exposes the same behaviour over the network.
+// Memory is an honest in-process implementation of Service. It is the
+// substrate for simulations; the TCP server in this package exposes the same
+// behaviour over the network, and adversarial behaviour is injected by
+// wrapping any backend — this one included — in an Adversary.
 //
 // The store is sharded: blob names and mailbox recipients are hashed onto
 // DefaultShards (or the count given to NewMemoryShards) independent
@@ -71,14 +56,9 @@ func (c *counters) snapshot() Stats {
 // network latency (SetLatency) once per call instead of once per blob.
 type Memory struct {
 	shards []*shard
-	adv    AdversaryConfig
 	stats  counters
 
 	nextMsg atomic.Uint64
-
-	// obsMu guards observations collected by an honest-but-curious adversary.
-	obsMu        sync.Mutex
-	observations [][]byte
 
 	// cfgMu guards the clock, the outage window and the simulated latency.
 	cfgMu            sync.RWMutex
@@ -90,41 +70,24 @@ type Memory struct {
 // NewMemory creates an honest in-memory cloud service with DefaultShards
 // shards.
 func NewMemory() *Memory {
-	return NewMemoryWithAdversary(AdversaryConfig{Mode: Honest, Seed: 1})
+	return NewMemoryShards(DefaultShards)
 }
 
 // NewMemoryShards creates an honest service with the given shard count.
 // shards < 1 is clamped to 1; a single shard reproduces the historical
 // one-big-lock store.
 func NewMemoryShards(shards int) *Memory {
-	return NewMemoryShardsWithAdversary(shards, AdversaryConfig{Mode: Honest, Seed: 1})
-}
-
-// NewMemoryWithAdversary creates a service with the given adversarial
-// behaviour and DefaultShards shards.
-func NewMemoryWithAdversary(cfg AdversaryConfig) *Memory {
-	return NewMemoryShardsWithAdversary(DefaultShards, cfg)
-}
-
-// NewMemoryShardsWithAdversary creates a service with both the shard count
-// and the adversarial behaviour chosen by the caller. Each shard gets its own
-// deterministic generator derived from cfg.Seed, so runs are reproducible for
-// a fixed shard count.
-func NewMemoryShardsWithAdversary(shards int, cfg AdversaryConfig) *Memory {
 	if shards < 1 {
 		shards = 1
 	}
 	m := &Memory{
 		shards: make([]*shard, shards),
-		adv:    cfg,
 		now:    time.Now,
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{
 			blobs:     make(map[string]Blob),
-			history:   make(map[string][]Blob),
 			mailboxes: make(map[string][]Message),
-			rng:       rand.New(rand.NewSource(cfg.Seed + int64(i))),
 		}
 	}
 	return m
@@ -207,25 +170,6 @@ func (m *Memory) clock() time.Time {
 	return now()
 }
 
-// chance draws an adversarial coin on the shard's generator.
-func (s *shard) chance(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	s.rngMu.Lock()
-	ok := s.rng.Float64() < p
-	s.rngMu.Unlock()
-	return ok
-}
-
-// intn draws a bounded index on the shard's generator.
-func (s *shard) intn(n int) int {
-	s.rngMu.Lock()
-	v := s.rng.Intn(n)
-	s.rngMu.Unlock()
-	return v
-}
-
 // PutBlob stores data under name.
 func (m *Memory) PutBlob(name string, data []byte) (int, error) {
 	if err := m.checkIn(); err != nil {
@@ -242,36 +186,13 @@ func (m *Memory) putLocked(s *shard, name string, data []byte) (int, error) {
 	m.stats.puts.Add(1)
 	m.stats.bytesStored.Add(int64(len(data)))
 
-	if m.adv.Mode == Dropping && s.chance(m.adv.DropRate) {
-		// Pretend success but do not store: a silently lossy provider.
-		m.stats.droppedBlobs.Add(1)
-		old := s.blobs[name]
-		return old.Version + 1, nil
-	}
-
-	stored := append([]byte(nil), data...)
-	if m.adv.Mode == Tampering && len(stored) > 0 && s.chance(m.adv.TamperRate) {
-		stored[s.intn(len(stored))] ^= 0xFF
-		m.stats.tamperedBlobs.Add(1)
-	}
-	if m.adv.Mode == HonestButCurious {
-		m.obsMu.Lock()
-		m.observations = append(m.observations, append([]byte(nil), data...))
-		m.obsMu.Unlock()
-		m.stats.observedBlobs.Add(1)
-	}
-
-	old, exists := s.blobs[name]
-	if exists {
-		s.history[name] = append(s.history[name], old)
-	}
-	b := Blob{Name: name, Version: old.Version + 1, Data: stored, Stored: m.clock()}
+	old := s.blobs[name]
+	b := Blob{Name: name, Version: old.Version + 1, Data: append([]byte(nil), data...), Stored: m.clock()}
 	s.blobs[name] = b
 	return b.Version, nil
 }
 
-// GetBlob returns the latest (or, for a replaying adversary, possibly a
-// stale) version of the blob.
+// GetBlob returns the latest version of the blob.
 func (m *Memory) GetBlob(name string) (Blob, error) {
 	if err := m.checkIn(); err != nil {
 		return Blob{}, err
@@ -288,11 +209,6 @@ func (m *Memory) getLocked(s *shard, name string) (Blob, error) {
 	b, ok := s.blobs[name]
 	if !ok {
 		return Blob{}, ErrBlobNotFound
-	}
-	if m.adv.Mode == Replaying && len(s.history[name]) > 0 && s.chance(m.adv.ReplayRate) {
-		m.stats.replayedBlobs.Add(1)
-		old := s.history[name][s.intn(len(s.history[name]))]
-		return cloneBlob(old), nil
 	}
 	return cloneBlob(b), nil
 }
@@ -313,7 +229,6 @@ func (m *Memory) DeleteBlob(name string) error {
 	defer s.mu.Unlock()
 	m.stats.deletes.Add(1)
 	delete(s.blobs, name)
-	delete(s.history, name)
 	return nil
 }
 
@@ -346,10 +261,6 @@ func (m *Memory) Send(msg Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m.stats.sends.Add(1)
-	if m.adv.Mode == Dropping && s.chance(m.adv.DropRate) {
-		m.stats.droppedMessages.Add(1)
-		return nil
-	}
 	seq := m.nextMsg.Add(1)
 	msg.Seq = seq
 	if msg.ID == "" {
@@ -388,18 +299,6 @@ func (m *Memory) Receive(recipient string, max int) ([]Message, error) {
 // Stats returns a snapshot of the service counters.
 func (m *Memory) Stats() Stats {
 	return m.stats.snapshot()
-}
-
-// Observations returns what an honest-but-curious provider captured. The
-// confidentiality tests assert that none of it is plaintext.
-func (m *Memory) Observations() [][]byte {
-	m.obsMu.Lock()
-	defer m.obsMu.Unlock()
-	out := make([][]byte, len(m.observations))
-	for i, o := range m.observations {
-		out[i] = append([]byte(nil), o...)
-	}
-	return out
 }
 
 // PutBlobs implements BatchService: it stores every blob, grouping the writes
@@ -452,8 +351,6 @@ func (m *Memory) GetBlobs(names []string) ([]Blob, error) {
 // GetBlobsIf implements ConditionalBatchService: blobs whose stored version is
 // still <= the requested IfNewer come back with their current Version but no
 // data, so a synchronizing replica pays only for the shards that advanced.
-// The adversary still acts through getLocked on the blobs that are shipped,
-// exactly as it would on an unconditional fetch.
 func (m *Memory) GetBlobsIf(gets []CondGet) ([]Blob, error) {
 	if err := m.checkIn(); err != nil {
 		return nil, err

@@ -1,0 +1,281 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestQuarantineExcludesFromReads proves a quarantined member cannot serve
+// reads: its (possibly rolled-back) copy is invisible to GetBlob even when
+// it answers first, while writes keep fanning to it so it can converge.
+func TestQuarantineExcludesFromReads(t *testing.T) {
+	m0, m1, m2 := NewMemory(), NewMemory(), NewMemory()
+	r, err := NewReplicated([]Service{m0, m1, m2}, ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.PutBlob("doc", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Member 0 turns Byzantine: it serves stale bytes under the real version.
+	if _, err := m0.PutBlob("doc", []byte("rolled-back")); err != nil {
+		t.Fatal(err)
+	}
+	r.Quarantine(0)
+	if !r.IsQuarantined(0) {
+		t.Fatal("IsQuarantined(0) = false after Quarantine(0)")
+	}
+	if got := r.ReplicationStats().MembersQuarantined; got != 1 {
+		t.Fatalf("MembersQuarantined = %d, want 1", got)
+	}
+
+	for i := 0; i < 20; i++ {
+		b, err := r.GetBlob("doc")
+		if err != nil {
+			t.Fatalf("GetBlob during quarantine: %v", err)
+		}
+		if string(b.Data) == "rolled-back" {
+			t.Fatal("read served the quarantined member's copy")
+		}
+	}
+
+	// Writes still fan to the quarantined member.
+	if _, err := r.PutBlob("doc2", []byte("fanned")); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := m0.GetBlob("doc2"); err != nil || string(b.Data) != "fanned" {
+		t.Fatalf("quarantined member missed the write: %+v %v", b, err)
+	}
+}
+
+// TestQuarantineAcksDoNotCountTowardW proves write quorums are counted over
+// trusted members only: with one of three members quarantined W=2 still
+// succeeds (two trusted acks exist), but quarantining a second member leaves
+// one trusted member and the write must fail with ErrQuorumFailed even
+// though three healthy backends would happily acknowledge.
+func TestQuarantineAcksDoNotCountTowardW(t *testing.T) {
+	r, err := NewReplicated([]Service{NewMemory(), NewMemory(), NewMemory()},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	r.Quarantine(0)
+	if _, err := r.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatalf("PutBlob with one quarantined member: %v", err)
+	}
+	if _, err := r.PutBlobs([]BlobPut{{Name: "batch", Data: []byte("y")}}); err != nil {
+		t.Fatalf("PutBlobs with one quarantined member: %v", err)
+	}
+
+	r.Quarantine(1)
+	if _, err := r.PutBlob("doc", []byte("z")); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("PutBlob with two quarantined members: err=%v, want ErrQuorumFailed", err)
+	}
+	if err := r.DeleteBlob("doc"); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("DeleteBlob with two quarantined members: err=%v, want ErrQuorumFailed", err)
+	}
+	if err := r.Send(Message{To: "bob", From: "alice", Body: []byte("hi")}); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("Send with two quarantined members: err=%v, want ErrQuorumFailed", err)
+	}
+}
+
+// TestQuarantineReadQuorumShrinks proves quarantine reduces read capacity:
+// with R=2 and two of three members quarantined, reads fail rather than
+// consult a convicted member.
+func TestQuarantineReadQuorumShrinks(t *testing.T) {
+	r, err := NewReplicated([]Service{NewMemory(), NewMemory(), NewMemory()},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r.Quarantine(0)
+	r.Quarantine(1)
+	if _, err := r.GetBlob("doc"); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("GetBlob with two quarantined members: err=%v, want ErrQuorumFailed", err)
+	}
+	if _, err := r.ListBlobs(""); !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("ListBlobs with two quarantined members: err=%v, want ErrQuorumFailed", err)
+	}
+}
+
+// TestQuarantineReadmission is the full drill: a member diverges, is
+// quarantined, anti-entropy rewrites its copies from the trusted fleet and
+// re-admits it once every blob byte-matches the trusted view.
+func TestQuarantineReadmission(t *testing.T) {
+	m0, m1, m2 := NewMemory(), NewMemory(), NewMemory()
+	r, err := NewReplicated([]Service{m0, m1, m2}, ReplicatedOptions{WriteQuorum: 3, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		if _, err := r.PutBlob(name, []byte("good-"+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Member 0 silently dropped half the acknowledged writes (the Dropping
+	// adversary's signature): the blobs are simply absent from its store.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		if err := m0.DeleteBlob(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Quarantine(0)
+
+	report, err := r.AntiEntropy()
+	if err != nil {
+		t.Fatalf("AntiEntropy: %v", err)
+	}
+	if report.QuarantineRepairs == 0 {
+		t.Fatalf("QuarantineRepairs = 0, want > 0 (report %+v)", report)
+	}
+	if report.Readmitted != 1 {
+		t.Fatalf("Readmitted = %d, want 1 (report %+v)", report.Readmitted, report)
+	}
+	if r.IsQuarantined(0) {
+		t.Fatal("member still quarantined after clean re-admission probe")
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("doc-%d", i)
+		b, err := m0.GetBlob(name)
+		if err != nil {
+			t.Fatalf("readmitted member missing %s: %v", name, err)
+		}
+		want := []byte("good-" + name)
+		if !bytes.Equal(b.Data, want) {
+			t.Fatalf("readmitted member holds %q for %s, want %q", b.Data, name, want)
+		}
+	}
+	if got := r.ReplicationStats().MembersQuarantined; got != 0 {
+		t.Fatalf("MembersQuarantined = %d after re-admission, want 0", got)
+	}
+}
+
+// TestQuarantineStaysWhileVerifierRejects proves re-admission is gated on
+// the installed Verifier vouching for the trusted winners: while it rejects,
+// repairs still run but the quarantine flag never clears.
+func TestQuarantineStaysWhileVerifierRejects(t *testing.T) {
+	m0, m1, m2 := NewMemory(), NewMemory(), NewMemory()
+	reject := true
+	r, err := NewReplicated([]Service{m0, m1, m2}, ReplicatedOptions{
+		WriteQuorum: 3, ReadQuorum: 2,
+		Verifier: func(name string, data []byte) error {
+			if reject {
+				return fmt.Errorf("catalog audit failed for %s", name)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.PutBlob("doc", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m0.DeleteBlob("doc"); err != nil {
+		t.Fatal(err)
+	}
+	r.Quarantine(0)
+
+	if _, err := r.AntiEntropy(); err != nil {
+		t.Fatalf("AntiEntropy: %v", err)
+	}
+	if !r.IsQuarantined(0) {
+		t.Fatal("member readmitted while the verifier rejected the winners")
+	}
+	// The repair itself still happened: the member's bytes converged.
+	if b, err := m0.GetBlob("doc"); err != nil || string(b.Data) != "good" {
+		t.Fatalf("quarantined member not repaired: %+v %v", b, err)
+	}
+
+	reject = false
+	report, err := r.AntiEntropy()
+	if err != nil {
+		t.Fatalf("AntiEntropy after verifier accepts: %v", err)
+	}
+	if report.Readmitted != 1 || r.IsQuarantined(0) {
+		t.Fatalf("member not readmitted once the verifier accepts (report %+v)", report)
+	}
+}
+
+// TestQuarantineVersionInflatedStaysQuarantined covers the unrepairable
+// case: a member whose version counter was pushed past the trusted winner's
+// (blob versions only ever rise, so repair cannot lower it) serves divergent
+// bytes the probe keeps rejecting. The member stays quarantined forever —
+// SwapMember is the operator path out.
+func TestQuarantineVersionInflatedStaysQuarantined(t *testing.T) {
+	m0, m1, m2 := NewMemory(), NewMemory(), NewMemory()
+	r, err := NewReplicated([]Service{m0, m1, m2}, ReplicatedOptions{WriteQuorum: 3, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.PutBlob("doc", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Direct overwrite bumps member 0 to version 2 while the trusted winner
+	// stays at version 1 — repair cannot win that race.
+	if _, err := m0.PutBlob("doc", []byte("tampered")); err != nil {
+		t.Fatal(err)
+	}
+	r.Quarantine(0)
+
+	for round := 0; round < 3; round++ {
+		report, err := r.AntiEntropy()
+		if err != nil {
+			t.Fatalf("AntiEntropy round %d: %v", round, err)
+		}
+		if report.Readmitted != 0 {
+			t.Fatalf("round %d readmitted a divergent member (report %+v)", round, report)
+		}
+	}
+	if !r.IsQuarantined(0) {
+		t.Fatal("version-inflated divergent member was readmitted")
+	}
+	// The honest majority keeps serving the good bytes throughout.
+	if b, err := r.GetBlob("doc"); err != nil || string(b.Data) != "good" {
+		t.Fatalf("fleet read during permanent quarantine: %+v %v", b, err)
+	}
+}
+
+// TestQuarantineHonestFleetUnaffected is the false-positive guard at the
+// replication layer: with nobody quarantined the new counting changes
+// nothing — W acks suffice, reads succeed, anti-entropy reports no
+// quarantine work.
+func TestQuarantineHonestFleetUnaffected(t *testing.T) {
+	r, err := NewReplicated([]Service{NewMemory(), NewMemory(), NewMemory()},
+		ReplicatedOptions{WriteQuorum: 2, ReadQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.PutBlob("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	report, err := r.AntiEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.QuarantineRepairs != 0 || report.Readmitted != 0 {
+		t.Fatalf("honest fleet reported quarantine work: %+v", report)
+	}
+	if got := r.ReplicationStats().MembersQuarantined; got != 0 {
+		t.Fatalf("MembersQuarantined = %d, want 0", got)
+	}
+}

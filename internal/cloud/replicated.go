@@ -105,6 +105,14 @@ type ReplicatedOptions struct {
 	// may still apply later; DESIGN.md §9.5 lists the consequences. Defaults
 	// to 5s; negative disables the bound.
 	CallTimeout time.Duration
+	// Verifier, when set, authenticates blob contents during the quarantine
+	// re-admission probe: a quarantined member is only re-admitted after its
+	// copies byte-match the trusted fleet state AND every checked winner blob
+	// passes this hook. The replication layer holds no keys, so the trusted
+	// side installs a closure (typically over sync.Replica.CheckShardBlob)
+	// that verifies the sealed payload's signed freshness evidence. A nil
+	// Verifier re-admits on byte-equality alone.
+	Verifier func(name string, data []byte) error
 }
 
 func (o ReplicatedOptions) withDefaults(n int) ReplicatedOptions {
@@ -170,6 +178,13 @@ type member struct {
 	hints       []hint
 	dropped     int64 // hints lost to queue overflow
 	drained     int64 // hints successfully replayed
+	// quarantined marks a member convicted of Byzantine behaviour (rollback,
+	// fork, dropped acknowledged writes — see Quarantine). It is orthogonal
+	// to down: a quarantined member is excluded from read quorums and its
+	// write acknowledgements stop counting toward W, but writes still fan to
+	// it (or queue as hints) so an honest-again member converges. Only the
+	// anti-entropy re-admission probe clears the flag.
+	quarantined bool
 }
 
 // ReplicationStats counts the layer's own activity (the logical operations a
@@ -187,15 +202,20 @@ type ReplicationStats struct {
 	HintsDrained   int64 // hints replayed to recovered members
 	ReadRepairs    int64 // stale member copies rewritten during reads
 	MembersDown    int64 // members currently marked down
+	// MembersQuarantined counts members currently excluded for Byzantine
+	// behaviour (see Quarantine).
+	MembersQuarantined int64
 }
 
 // RepairReport summarises one anti-entropy pass.
 type RepairReport struct {
-	HintsDrained int   // hints replayed before the scan
-	Shards       int   // FNV shard groups scanned
-	Names        int   // distinct blob names compared
-	StalePuts    int   // stale member copies rewritten
-	BytesMoved   int64 // payload bytes rewritten to stale members
+	HintsDrained      int   // hints replayed before the scan
+	Shards            int   // FNV shard groups scanned
+	Names             int   // distinct blob names compared
+	StalePuts         int   // stale member copies rewritten
+	BytesMoved        int64 // payload bytes rewritten to stale members
+	QuarantineRepairs int   // repair puts issued to quarantined members
+	Readmitted        int   // quarantined members re-admitted after verifying clean
 }
 
 // Replicated stripes the full Service, BatchService and
@@ -314,6 +334,31 @@ func (r *Replicated) MemberDown(i int) bool {
 	return m.down
 }
 
+// Quarantine excludes member i for Byzantine behaviour: a provider caught
+// rolling back, forking or dropping acknowledged state by the trusted side's
+// audit (e.g. sync.Replica.CheckShardBlob). A quarantined member serves no
+// reads and its write acknowledgements stop counting toward the write quorum,
+// so poisoned copies cannot shadow honest ones — but writes keep fanning to
+// it, so a member that starts behaving again converges instead of drifting
+// further. Re-admission is earned, not declared: the next AntiEntropy pass
+// repairs the member against the trusted fleet state and clears the flag only
+// once every copy byte-matches the winners (and the configured Verifier, if
+// any, accepts them).
+func (r *Replicated) Quarantine(i int) {
+	m := r.members[i]
+	m.mu.Lock()
+	m.quarantined = true
+	m.mu.Unlock()
+}
+
+// IsQuarantined reports whether member i is currently quarantined.
+func (r *Replicated) IsQuarantined(i int) bool {
+	m := r.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined
+}
+
 // SetClock overrides the layer clock used to stamp outgoing messages.
 func (r *Replicated) SetClock(now func() time.Time) {
 	r.cfgMu.Lock()
@@ -330,7 +375,7 @@ func (r *Replicated) clock() time.Time {
 
 // ReplicationStats returns a snapshot of the layer's counters.
 func (r *Replicated) ReplicationStats() ReplicationStats {
-	var dropped, drained, down int64
+	var dropped, drained, down, quarantined int64
 	for _, m := range r.members {
 		m.mu.Lock()
 		dropped += m.dropped
@@ -338,18 +383,22 @@ func (r *Replicated) ReplicationStats() ReplicationStats {
 		if m.down {
 			down++
 		}
+		if m.quarantined {
+			quarantined++
+		}
 		m.mu.Unlock()
 	}
 	return ReplicationStats{
 		Puts: r.stats.puts.Load(), Gets: r.stats.gets.Load(),
 		Deletes: r.stats.deletes.Load(), Lists: r.stats.lists.Load(),
 		Sends: r.stats.sends.Load(), Receives: r.stats.receives.Load(),
-		QuorumFailures: r.stats.quorumFailures.Load(),
-		HintsQueued:    r.stats.hintsQueued.Load(),
-		HintsDropped:   dropped,
-		HintsDrained:   drained,
-		ReadRepairs:    r.stats.readRepairs.Load(),
-		MembersDown:    down,
+		QuorumFailures:     r.stats.quorumFailures.Load(),
+		HintsQueued:        r.stats.hintsQueued.Load(),
+		HintsDropped:       dropped,
+		HintsDrained:       drained,
+		ReadRepairs:        r.stats.readRepairs.Load(),
+		MembersDown:        down,
+		MembersQuarantined: quarantined,
 	}
 }
 
@@ -568,6 +617,43 @@ func (r *Replicated) live() []int {
 	return idx
 }
 
+// readEligible returns the members eligible to answer reads: live and not
+// quarantined. A quarantined member's copies are suspect by conviction, so
+// they must not reach callers or become repair sources.
+func (r *Replicated) readEligible() []int {
+	idx := make([]int, 0, len(r.members))
+	for i, m := range r.members {
+		m.mu.Lock()
+		ok := !m.down && len(m.hints) == 0 && !m.quarantined
+		m.mu.Unlock()
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// quarantinedSet snapshots which of the given members are quarantined. Write
+// paths use it to fan writes to quarantined members (keeping them
+// convergeable) while refusing to count their acknowledgements toward the
+// write quorum — a convicted member's "stored" means nothing.
+func (r *Replicated) quarantinedSet(idxs []int) map[int]bool {
+	var set map[int]bool
+	for _, i := range idxs {
+		m := r.members[i]
+		m.mu.Lock()
+		q := m.quarantined
+		m.mu.Unlock()
+		if q {
+			if set == nil {
+				set = make(map[int]bool)
+			}
+			set[i] = true
+		}
+	}
+	return set
+}
+
 // --- fan-out helper ---------------------------------------------------------
 
 // fanResult is one member's answer to a fanned-out call.
@@ -697,21 +783,25 @@ func (r *Replicated) PutBlob(name string, data []byte) (int, error) {
 	mu.Lock()
 
 	live := r.live()
-	if len(live) < r.opts.WriteQuorum {
+	quar := r.quarantinedSet(live)
+	if len(live)-len(quar) < r.opts.WriteQuorum {
 		mu.Unlock()
 		r.stats.quorumFailures.Add(1)
-		return 0, fmt.Errorf("%w: %d of %d members reachable, need %d",
-			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+		return 0, fmt.Errorf("%w: %d of %d trusted members reachable, need %d",
+			ErrQuorumFailed, len(live)-len(quar), len(r.members), r.opts.WriteQuorum)
 	}
 	h := hint{kind: hintPut, name: name, data: stored}
 	r.hintSkipped(live, h)
-	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+	// need counts quarantined members on top of W: their acks arrive but do
+	// not count, so the early exit must wait for W trusted acks even when
+	// every quarantined member answers first.
+	results := r.fanout(live, r.opts.WriteQuorum+len(quar), func(i int, svc Service) fanResult {
 		v, err := svc.PutBlob(name, stored)
 		return fanResult{version: v, err: err}
 	}, func(i int) { r.hintFailed(i, h) }, mu.Unlock)
 	maxV, acks := 0, 0
 	for _, res := range results {
-		if res.err == nil {
+		if res.err == nil && !quar[res.idx] {
 			acks++
 			if res.version > maxV {
 				maxV = res.version
@@ -734,10 +824,10 @@ func (r *Replicated) PutBlob(name string, data []byte) (int, error) {
 // a minority answer must never shadow an acknowledged write.
 func (r *Replicated) GetBlob(name string) (Blob, error) {
 	r.maybeProbe()
-	live := r.live()
+	live := r.readEligible()
 	if len(live) < r.opts.ReadQuorum {
 		r.stats.quorumFailures.Add(1)
-		return Blob{}, fmt.Errorf("%w: %d of %d members reachable, need %d",
+		return Blob{}, fmt.Errorf("%w: %d of %d members readable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
 	}
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
@@ -875,11 +965,12 @@ func (r *Replicated) DeleteBlob(name string) error {
 	mu.Lock()
 
 	live := r.live()
-	if len(live) < r.opts.WriteQuorum {
+	quar := r.quarantinedSet(live)
+	if len(live)-len(quar) < r.opts.WriteQuorum {
 		mu.Unlock()
 		r.stats.quorumFailures.Add(1)
-		return fmt.Errorf("%w: %d of %d members reachable, need %d",
-			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+		return fmt.Errorf("%w: %d of %d trusted members reachable, need %d",
+			ErrQuorumFailed, len(live)-len(quar), len(r.members), r.opts.WriteQuorum)
 	}
 	h := hint{kind: hintDelete, name: name}
 	r.hintSkipped(live, h)
@@ -893,7 +984,7 @@ func (r *Replicated) DeleteBlob(name string) error {
 	}, func(i int) { r.hintFailed(i, h) }, mu.Unlock)
 	acks := 0
 	for _, res := range results {
-		if res.err == nil {
+		if res.err == nil && !quar[res.idx] {
 			acks++
 		}
 	}
@@ -908,10 +999,10 @@ func (r *Replicated) DeleteBlob(name string) error {
 // ListBlobs returns the union of the names a read quorum of members store.
 func (r *Replicated) ListBlobs(prefix string) ([]string, error) {
 	r.maybeProbe()
-	live := r.live()
+	live := r.readEligible()
 	if len(live) < r.opts.ReadQuorum {
 		r.stats.quorumFailures.Add(1)
-		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+		return nil, fmt.Errorf("%w: %d of %d members readable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
 	}
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
@@ -963,19 +1054,20 @@ func (r *Replicated) Send(msg Message) error {
 	defer mu.Unlock()
 
 	live := r.live()
-	if len(live) < r.opts.WriteQuorum {
+	quar := r.quarantinedSet(live)
+	if len(live)-len(quar) < r.opts.WriteQuorum {
 		r.stats.quorumFailures.Add(1)
-		return fmt.Errorf("%w: %d of %d members reachable, need %d",
-			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+		return fmt.Errorf("%w: %d of %d trusted members reachable, need %d",
+			ErrQuorumFailed, len(live)-len(quar), len(r.members), r.opts.WriteQuorum)
 	}
 	h := hint{kind: hintSend, msg: msg}
 	r.hintSkipped(live, h)
-	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+	results := r.fanout(live, r.opts.WriteQuorum+len(quar), func(i int, svc Service) fanResult {
 		return fanResult{err: svc.Send(msg)}
 	}, func(i int) { r.hintFailed(i, h) }, nil)
 	acks := 0
 	for _, res := range results {
-		if res.err == nil {
+		if res.err == nil && !quar[res.idx] {
 			acks++
 		}
 	}
@@ -999,7 +1091,7 @@ func (r *Replicated) Receive(recipient string, max int) ([]Message, error) {
 	mu.Lock()
 	defer mu.Unlock()
 
-	live := r.live()
+	live := r.readEligible()
 	if len(live) == 0 {
 		r.stats.quorumFailures.Add(1)
 		return nil, ErrUnavailable
@@ -1120,25 +1212,26 @@ func (r *Replicated) PutBlobs(puts []BlobPut) ([]int, error) {
 	unlock := r.lockStripes(names)
 
 	live := r.live()
-	if len(live) < r.opts.WriteQuorum {
+	quar := r.quarantinedSet(live)
+	if len(live)-len(quar) < r.opts.WriteQuorum {
 		unlock()
 		r.stats.quorumFailures.Add(1)
-		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
-			ErrQuorumFailed, len(live), len(r.members), r.opts.WriteQuorum)
+		return nil, fmt.Errorf("%w: %d of %d trusted members reachable, need %d",
+			ErrQuorumFailed, len(live)-len(quar), len(r.members), r.opts.WriteQuorum)
 	}
 	hs := make([]hint, len(copied))
 	for i, p := range copied {
 		hs[i] = hint{kind: hintPut, name: p.Name, data: p.Data}
 	}
 	r.hintSkipped(live, hs...)
-	results := r.fanout(live, r.opts.WriteQuorum, func(i int, svc Service) fanResult {
+	results := r.fanout(live, r.opts.WriteQuorum+len(quar), func(i int, svc Service) fanResult {
 		vers, err := PutBlobsVia(svc, copied)
 		return fanResult{vers: vers, err: err}
 	}, func(i int) { r.hintFailed(i, hs...) }, unlock)
 	versions := make([]int, len(copied))
 	acks := 0
 	for _, res := range results {
-		if res.err != nil || len(res.vers) != len(copied) {
+		if res.err != nil || len(res.vers) != len(copied) || quar[res.idx] {
 			continue
 		}
 		acks++
@@ -1164,10 +1257,10 @@ func (r *Replicated) GetBlobs(names []string) ([]Blob, error) {
 	if len(names) == 0 {
 		return nil, nil
 	}
-	live := r.live()
+	live := r.readEligible()
 	if len(live) < r.opts.ReadQuorum {
 		r.stats.quorumFailures.Add(1)
-		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+		return nil, fmt.Errorf("%w: %d of %d members readable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
 	}
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
@@ -1230,10 +1323,10 @@ func (r *Replicated) GetBlobsIf(gets []CondGet) ([]Blob, error) {
 	if len(gets) == 0 {
 		return nil, nil
 	}
-	live := r.live()
+	live := r.readEligible()
 	if len(live) < r.opts.ReadQuorum {
 		r.stats.quorumFailures.Add(1)
-		return nil, fmt.Errorf("%w: %d of %d members reachable, need %d",
+		return nil, fmt.Errorf("%w: %d of %d members readable, need %d",
 			ErrQuorumFailed, len(live), len(r.members), r.opts.ReadQuorum)
 	}
 	results := r.fanout(live, r.opts.ReadQuorum, func(i int, svc Service) fanResult {
@@ -1281,11 +1374,18 @@ func (r *Replicated) GetBlobsIf(gets []CondGet) ([]Blob, error) {
 // Durable — comparing members shard by shard and rewriting stale copies with
 // the winning blob. One pass converges every reachable member to the
 // element-wise maximum state (including writes lost to hint-queue overflow).
+//
+// Quarantined members never contribute names or winning blobs — a convicted
+// provider must not be able to launder rolled-back or forked state through
+// repair. Instead a dedicated pass (repairQuarantined) overwrites their
+// divergent copies with trusted winners and re-admits them once every blob
+// byte-matches the trusted view and, when a Verifier is installed, the
+// winners themselves pass verification.
 func (r *Replicated) AntiEntropy() (RepairReport, error) {
 	var report RepairReport
 	report.HintsDrained = r.DrainHints()
 
-	live := r.live()
+	live := r.readEligible()
 	if len(live) == 0 {
 		return report, ErrUnavailable
 	}
@@ -1327,7 +1427,117 @@ func (r *Replicated) AntiEntropy() (RepairReport, error) {
 			return report, err
 		}
 	}
+	r.repairQuarantined(names, reachable, &report)
 	return report, nil
+}
+
+// repairQuarantined is the probe-based re-admission path for members under
+// Byzantine quarantine. For each live quarantined member with a drained hint
+// queue it (1) builds the trusted fleet's winning view of every blob, (2)
+// verifies the winners with the installed Verifier (if any), (3) overwrites
+// every copy the member holds that differs byte-for-byte from the winner and
+// (4) re-fetches everything; only a member whose entire store then matches
+// the trusted view is re-admitted to read quorums. A member that still
+// diverges — e.g. one whose version counters were inflated by a fork —
+// stays quarantined until SwapMember replaces it.
+func (r *Replicated) repairQuarantined(names []string, sources []int, report *RepairReport) {
+	var quarantined []int
+	for i := range r.members {
+		m := r.members[i]
+		m.mu.Lock()
+		candidate := m.quarantined && !m.down && len(m.hints) == 0
+		m.mu.Unlock()
+		if candidate {
+			quarantined = append(quarantined, i)
+		}
+	}
+	if len(quarantined) == 0 || len(sources) == 0 {
+		return
+	}
+
+	// Trusted winners: element-wise max-version view across the trusted
+	// sources (the same rule repairShard uses, restricted to trusted members).
+	winners := make([]Blob, len(names))
+	for _, si := range sources {
+		svc := r.Member(si)
+		blobs, err := boundedCall(r.opts.CallTimeout, func() ([]Blob, error) {
+			return GetBlobsVia(svc, names)
+		})
+		if err != nil || len(blobs) != len(names) {
+			r.markFailure(r.members[si])
+			continue
+		}
+		for pos, b := range blobs {
+			if b.Version > winners[pos].Version {
+				winners[pos] = b
+			}
+		}
+	}
+
+	// Re-admission requires the trusted winners themselves to verify: if the
+	// catalog audit cannot vouch for the bytes we are about to declare
+	// canonical, repairs still run but the quarantine flag stays set.
+	verified := true
+	if r.opts.Verifier != nil {
+		for pos, w := range winners {
+			if w.Version == 0 || len(w.Data) == 0 {
+				continue
+			}
+			if err := r.opts.Verifier(names[pos], w.Data); err != nil {
+				verified = false
+				break
+			}
+		}
+	}
+
+	for _, qi := range quarantined {
+		svc := r.Member(qi)
+		held, err := boundedCall(r.opts.CallTimeout, func() ([]Blob, error) {
+			return GetBlobsVia(svc, names)
+		})
+		if err != nil || len(held) != len(names) {
+			r.markFailure(r.members[qi])
+			continue
+		}
+		for pos, w := range winners {
+			if w.Version == 0 {
+				continue
+			}
+			if !bytes.Equal(held[pos].Data, w.Data) {
+				puts := r.repairName(names[pos], w, []int{qi})
+				report.QuarantineRepairs += puts
+				report.BytesMoved += int64(puts * len(w.Data))
+			}
+		}
+		// Probe: re-fetch everything and compare bytes. Any residual
+		// divergence (including a version counter the adversary inflated past
+		// the trusted winner, which repairName cannot lower) keeps the member
+		// out of read quorums.
+		after, err := boundedCall(r.opts.CallTimeout, func() ([]Blob, error) {
+			return GetBlobsVia(svc, names)
+		})
+		if err != nil || len(after) != len(names) {
+			r.markFailure(r.members[qi])
+			continue
+		}
+		clean := true
+		for pos, w := range winners {
+			if w.Version == 0 {
+				continue
+			}
+			if !bytes.Equal(after[pos].Data, w.Data) {
+				clean = false
+				break
+			}
+		}
+		if clean && verified {
+			m := r.members[qi]
+			m.mu.Lock()
+			m.quarantined = false
+			m.mu.Unlock()
+			report.Readmitted++
+		}
+	}
 }
 
 // repairShard compares one shard's blobs across members and rewrites stale

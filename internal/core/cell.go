@@ -225,7 +225,16 @@ func (c *Cell) AttachUsagePolicy(p ucon.Policy) error {
 // other cells. Documents received through the sharing protocol stay
 // cell-local (their wrapped keys only open here). The replica should be
 // built over the same cloud service and user ID as the cell.
+//
+// Attaching also backs the replica's attestation epochs with the TEE's
+// tamper-resistant monotonic counters (one per shard), so the freshness
+// frontier the rollback/fork audit relies on survives cell restarts the way
+// the paper's secure microcontroller state does.
 func (c *Cell) AttachReplica(r *syncpkg.Replica) {
+	tee := c.tee
+	r.SetEpochSource(func(shard int) (uint64, error) {
+		return tee.CounterIncrement(fmt.Sprintf("sync-epoch/%04d", shard))
+	})
 	c.mu.Lock()
 	c.replica = r
 	c.mu.Unlock()

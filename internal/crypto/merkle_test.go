@@ -181,3 +181,120 @@ func BenchmarkMerkleProofVerify(b *testing.B) {
 		}
 	}
 }
+
+func TestMerkleSingleLeaf(t *testing.T) {
+	leaf := []byte("only")
+	tree := NewMerkleTree([][]byte{leaf})
+	if got := tree.NumLeaves(); got != 1 {
+		t.Fatalf("NumLeaves = %d, want 1", got)
+	}
+	// A single-leaf tree's root is the leaf hash and its proof is empty.
+	if !bytes.Equal(tree.Root(), hashLeaf(leaf)) {
+		t.Fatal("single-leaf root is not the leaf hash")
+	}
+	proof, err := tree.Proof(0)
+	if err != nil {
+		t.Fatalf("Proof(0): %v", err)
+	}
+	if len(proof) != 0 {
+		t.Fatalf("single-leaf proof has %d steps, want 0", len(proof))
+	}
+	if err := VerifyProof(tree.Root(), leaf, proof); err != nil {
+		t.Fatalf("single-leaf proof rejected: %v", err)
+	}
+	if err := VerifyProof(tree.Root(), []byte("other"), proof); err == nil {
+		t.Fatal("single-leaf proof accepted a different leaf")
+	}
+}
+
+func TestMerkleEmptyTreeProof(t *testing.T) {
+	// The empty tree is a single sentinel (nil) leaf: it must be provable,
+	// and distinguishable from a tree over one empty-but-present leaf set
+	// sibling shapes.
+	tree := NewMerkleTree(nil)
+	proof, err := tree.Proof(0)
+	if err != nil {
+		t.Fatalf("Proof(0) on empty tree: %v", err)
+	}
+	if err := VerifyProof(tree.Root(), nil, proof); err != nil {
+		t.Fatalf("empty-tree sentinel proof rejected: %v", err)
+	}
+	if _, err := tree.Proof(1); err == nil {
+		t.Fatal("empty tree accepted a proof index past the sentinel")
+	}
+	if bytes.Equal(tree.Root(), NewMerkleTree(makeLeaves(1)).Root()) {
+		t.Fatal("empty tree shares a root with a non-empty tree")
+	}
+}
+
+func TestMerkleOddLeafSelfPairing(t *testing.T) {
+	// With an odd level the last node is promoted by pairing with itself:
+	// the root over [a,b,c] must equal hash(hash(a,b), hash(c,c)).
+	leaves := makeLeaves(3)
+	tree := NewMerkleTree(leaves)
+	ab := hashNode(hashLeaf(leaves[0]), hashLeaf(leaves[1]))
+	cc := hashNode(hashLeaf(leaves[2]), hashLeaf(leaves[2]))
+	if !bytes.Equal(tree.Root(), hashNode(ab, cc)) {
+		t.Fatal("odd-leaf promotion does not self-pair")
+	}
+	// The odd leaf's proof carries itself as its sibling and still verifies.
+	proof, err := tree.Proof(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(proof[0].Hash, hashLeaf(leaves[2])) || !proof[0].Right {
+		t.Fatalf("odd leaf's first sibling should be itself on the right: %+v", proof[0])
+	}
+	if err := VerifyProof(tree.Root(), leaves[2], proof); err != nil {
+		t.Fatalf("odd-leaf proof rejected: %v", err)
+	}
+	// Self-pairing must not make [a,b,c] collide with [a,b,c,c].
+	padded := NewMerkleTree(append(makeLeaves(3), leaves[2]))
+	if !bytes.Equal(tree.Root(), padded.Root()) {
+		// This is the documented shape of the promotion rule: [a,b,c] and
+		// [a,b,c,c] do share a root, so the attested leaf *count* travels
+		// with the root (the catalog's attestation section signs both).
+		t.Fatal("promotion shape changed: [a,b,c] no longer matches [a,b,c,c]")
+	}
+	if tree.NumLeaves() == padded.NumLeaves() {
+		t.Fatal("leaf count failed to distinguish promoted from padded tree")
+	}
+}
+
+// FuzzMerkleProof drives arbitrary leaf sets through build/prove/verify: a
+// genuine proof must verify, a proof with any bit of any step flipped must
+// fail, and a different leaf value must fail against the genuine proof.
+func FuzzMerkleProof(f *testing.F) {
+	f.Add([]byte("seed-corpus-blob"), uint8(5), uint8(2), uint16(9))
+	f.Add([]byte{}, uint8(1), uint8(0), uint16(0))
+	f.Add([]byte{0xff, 0x00, 0xff}, uint8(33), uint8(32), uint16(255))
+	f.Fuzz(func(t *testing.T, data []byte, n, idx uint8, flip uint16) {
+		leaves := make([][]byte, int(n%64)+1)
+		for i := range leaves {
+			end := len(data) * (i + 1) / len(leaves)
+			leaves[i] = data[len(data)*i/len(leaves) : end]
+		}
+		tree := NewMerkleTree(leaves)
+		root := tree.Root()
+		i := int(idx) % len(leaves)
+		proof, err := tree.Proof(i)
+		if err != nil {
+			t.Fatalf("Proof(%d) of %d leaves: %v", i, len(leaves), err)
+		}
+		if err := VerifyProof(root, leaves[i], proof); err != nil {
+			t.Fatalf("genuine proof rejected: %v", err)
+		}
+		forged := append(append([]byte{}, leaves[i]...), 0xA5)
+		if err := VerifyProof(root, forged, proof); err == nil {
+			t.Fatal("forged leaf accepted under genuine proof")
+		}
+		if len(proof) > 0 {
+			step := int(flip) % len(proof)
+			bit := int(flip) % (len(proof[step].Hash) * 8)
+			proof[step].Hash[bit/8] ^= 1 << (bit % 8)
+			if err := VerifyProof(root, leaves[i], proof); err == nil {
+				t.Fatal("bit-flipped proof step accepted")
+			}
+		}
+	})
+}

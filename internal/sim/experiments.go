@@ -350,7 +350,7 @@ func RunE5(cfg E5Config) (*Table, error) {
 		},
 	}
 	for _, rate := range cfg.TamperRates {
-		svc := cloud.NewMemoryWithAdversary(cloud.AdversaryConfig{Mode: cloud.Tampering, TamperRate: rate, Seed: 42})
+		svc := cloud.NewAdversary(cloud.NewMemory(), cloud.AdversaryConfig{Mode: cloud.Tampering, TamperRate: rate, Seed: 42})
 		key, err := crypto.NewSymmetricKey()
 		if err != nil {
 			return nil, err

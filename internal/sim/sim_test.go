@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(ids))
 	}
 }
 
@@ -428,6 +428,45 @@ func TestRunE15Shape(t *testing.T) {
 	}
 	if table.Metrics["replication_overhead"] <= 0 || table.Metrics["degraded_overhead"] <= 0 {
 		t.Fatalf("overhead metrics missing: %v", table.Metrics)
+	}
+}
+
+// TestRunE17Shape verifies the Byzantine-provider drill at a reduced scale.
+// Detection is a protocol property, not a performance one, so even the tiny
+// configuration must convict every attack in one round with zero false
+// positives, keep the fleet quorum-readable during the quarantine, and
+// re-admit every healed member.
+func TestRunE17Shape(t *testing.T) {
+	cfg := DefaultE17Config()
+	cfg.CatalogSizes = []int{500}
+	cfg.SyncShards = 8
+	cfg.HonestRounds = 3
+	table, err := RunE17(cfg)
+	if err != nil {
+		t.Fatalf("RunE17: %v", err)
+	}
+	// One honest row plus durable+replicated rows per attack, per size.
+	wantRows := (1 + 2*len(e17Attacks)) * len(cfg.CatalogSizes)
+	if len(table.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d\n%s", len(table.Rows), wantRows, table)
+	}
+	if pct := table.Metrics["detection_pct"]; pct != 100 {
+		t.Fatalf("every attack must be detected, got %.1f%%\n%s", pct, table)
+	}
+	if fp := table.Metrics["false_positives"]; fp != 0 {
+		t.Fatalf("honest runs convicted: %.0f false positives\n%s", fp, table)
+	}
+	if rounds := table.Metrics["detect_rounds_max"]; rounds != 1 {
+		t.Fatalf("detection must take one exchange, took %.0f\n%s", rounds, table)
+	}
+	if pct := table.Metrics["quarantine_readable_pct"]; pct < 99 {
+		t.Fatalf("fleet must stay readable during quarantine, got %.1f%%\n%s", pct, table)
+	}
+	if pct := table.Metrics["readmitted_pct"]; pct != 100 {
+		t.Fatalf("healed members must be readmitted, got %.1f%%\n%s", pct, table)
+	}
+	if ovh := table.Metrics["proof_overhead_pct"]; ovh <= 0 || ovh > 10 {
+		t.Fatalf("attestation overhead out of range: %.2f%%\n%s", ovh, table)
 	}
 }
 

@@ -34,6 +34,11 @@ import (
 const (
 	shardCodecMagic   = 0xD6
 	shardCodecVersion = 1
+	// shardCodecVersionAuth appends the authenticated-catalog section
+	// (writer + attestations, see auth.go) after the conflict set. States
+	// without attestations still encode as version 1, so disabling
+	// attestation reproduces the pre-auth wire format byte for byte.
+	shardCodecVersionAuth = 2
 
 	shardFlagDeleted = 1 << 0
 	shardFlagHasDoc  = 1 << 1
@@ -48,9 +53,32 @@ func appendTime(dst []byte, t time.Time) ([]byte, error) {
 	return append(dst, tb...), nil
 }
 
+// appendBytes writes a length-prefixed byte string.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// consumeBytes reads a length-prefixed byte string, copying it out of the
+// (pooled, transient) decode buffer.
+func consumeBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := datamodel.ConsumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, errShardCodec
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}
+
 // appendShardState appends the binary encoding of st to dst.
 func appendShardState(dst []byte, st shardState) ([]byte, error) {
-	dst = append(dst, shardCodecMagic, shardCodecVersion)
+	codecVersion := byte(shardCodecVersion)
+	if st.Writer != "" || len(st.Attests) > 0 {
+		codecVersion = shardCodecVersionAuth
+	}
+	dst = append(dst, shardCodecMagic, codecVersion)
 
 	ids := make([]string, 0, len(st.Docs))
 	for id := range st.Docs {
@@ -102,6 +130,23 @@ func appendShardState(dst []byte, st shardState) ([]byte, error) {
 	for _, k := range conflicts {
 		dst = datamodel.AppendString(dst, k)
 	}
+
+	if codecVersion == shardCodecVersionAuth {
+		dst = datamodel.AppendString(dst, st.Writer)
+		reps := make([]string, 0, len(st.Attests))
+		for rep := range st.Attests {
+			reps = append(reps, rep)
+		}
+		sort.Strings(reps)
+		dst = binary.AppendUvarint(dst, uint64(len(reps)))
+		for _, rep := range reps {
+			a := st.Attests[rep]
+			dst = datamodel.AppendString(dst, rep)
+			dst = binary.AppendUvarint(dst, a.Epoch)
+			dst = appendBytes(dst, a.Root)
+			dst = appendBytes(dst, a.Sig)
+		}
+	}
 	return dst, nil
 }
 
@@ -118,9 +163,10 @@ func decodeShardState(data []byte) (shardState, error) {
 		}
 		return st, nil
 	}
-	if len(data) < 2 || data[1] != shardCodecVersion {
+	if len(data) < 2 || (data[1] != shardCodecVersion && data[1] != shardCodecVersionAuth) {
 		return shardState{}, errShardCodec
 	}
+	codecVersion := data[1]
 	b := data[2:]
 
 	nDocs, b, err := datamodel.ConsumeUvarint(b)
@@ -207,6 +253,39 @@ func decodeShardState(data []byte) (shardState, error) {
 				return shardState{}, err
 			}
 			st.Conflicts[k] = true
+		}
+	}
+
+	if codecVersion == shardCodecVersionAuth {
+		if st.Writer, b, err = datamodel.ConsumeString(b); err != nil {
+			return shardState{}, err
+		}
+		var nAtt uint64
+		if nAtt, b, err = datamodel.ConsumeUvarint(b); err != nil {
+			return shardState{}, err
+		}
+		if nAtt > uint64(len(b)) {
+			return shardState{}, errShardCodec
+		}
+		if nAtt > 0 {
+			st.Attests = make(map[string]Attestation, nAtt)
+			for i := uint64(0); i < nAtt; i++ {
+				var rep string
+				if rep, b, err = datamodel.ConsumeString(b); err != nil {
+					return shardState{}, err
+				}
+				var a Attestation
+				if a.Epoch, b, err = datamodel.ConsumeUvarint(b); err != nil {
+					return shardState{}, err
+				}
+				if a.Root, b, err = consumeBytes(b); err != nil {
+					return shardState{}, err
+				}
+				if a.Sig, b, err = consumeBytes(b); err != nil {
+					return shardState{}, err
+				}
+				st.Attests[rep] = a
+			}
 		}
 	}
 	if len(b) != 0 {

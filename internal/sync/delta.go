@@ -83,16 +83,26 @@ func (r *Replica) push() error {
 	for i, si := range dirty {
 		if err := r.mergeFetchedLocked(si, remote[i]); err != nil {
 			r.mu.Unlock()
-			return err
+			// A rule-1 freshness verdict needs a refetch to classify as
+			// rollback or fork; other errors pass through unchanged.
+			return r.finishDetection(err)
 		}
 	}
 	// The merge (or a concurrent local update) may have dirtied more shards;
-	// push everything dirty now, and clear the flags so updates arriving
-	// while the upload is in flight re-mark their shard.
+	// push everything dirty now. Attestations are stamped before any dirty
+	// flag clears so an epoch-source failure loses nothing.
 	dirty = r.dirtyShardIndexesLocked()
 	snaps := make([]shardState, len(dirty))
 	for i, si := range dirty {
 		snaps[i] = snapshotShardLocked(r.shards[si])
+		if err := r.attestSnapshotLocked(si, &snaps[i]); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+	}
+	// Clear the flags so updates arriving while the upload is in flight
+	// re-mark their shard.
+	for _, si := range dirty {
 		r.shards[si].dirty = false
 	}
 	r.mu.Unlock()
@@ -125,6 +135,11 @@ func (r *Replica) push() error {
 		if versions[i] > r.shards[si].seen {
 			r.shards[si].seen = versions[i]
 		}
+		if versions[i] > r.shards[si].acked {
+			// The provider acknowledged this version for our own write; a
+			// later read below it is the freshness audit's rule-1 evidence.
+			r.shards[si].acked = versions[i]
+		}
 		r.bytesPushed += int64(len(puts[i].Data))
 		r.shardsPushed++
 	}
@@ -151,35 +166,71 @@ func (r *Replica) pull() error {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if !r.connected {
+		r.mu.Unlock()
 		return ErrDisconnected
 	}
 	for si, b := range blobs {
 		if err := r.mergeFetchedLocked(si, b); err != nil {
-			return err
+			r.mu.Unlock()
+			return r.finishDetection(err)
 		}
 	}
 	r.pulls++
+	r.mu.Unlock()
 	return nil
 }
 
 // mergeFetchedLocked folds one conditionally fetched shard blob into the
 // replica — shared by push (read-modify-write half) and pull so the skip
 // condition and traffic accounting cannot diverge. A blob that did not
-// advance past the last merged version (or was never pushed) is a no-op;
-// a blob that fails to verify aborts with ErrIntegrity. The caller holds
-// the state mutex.
+// advance past the last merged version (or was never pushed) is a no-op —
+// unless it fell below the version the provider acknowledged for our own
+// push, which is the freshness audit's rule 1 (auth.go). A blob that did
+// advance is audited for stale epochs and equivocation before it merges; a
+// blob that fails to verify aborts with ErrIntegrity. The caller holds the
+// state mutex.
 func (r *Replica) mergeFetchedLocked(si int, b cloud.Blob) error {
-	if b.Version == 0 || b.Version <= r.shards[si].seen || len(b.Data) == 0 {
+	sh := r.shards[si]
+	if b.Version == 0 {
+		if sh.acked > 0 {
+			// The provider acknowledged our push of this shard and now claims
+			// the blob does not exist at all.
+			if r.strict && r.attest {
+				return &divergenceError{shard: si, acked: sh.acked, served: 0}
+			}
+			r.suspectLocked(si)
+		}
+		return nil
+	}
+	if b.Version <= sh.seen {
+		if b.Version < sh.acked {
+			if r.strict && r.attest {
+				return &divergenceError{shard: si, acked: sh.acked, served: b.Version}
+			}
+			r.suspectLocked(si)
+		}
+		return nil
+	}
+	if len(b.Data) == 0 {
+		// An advanced version must carry bytes on the conditional-get
+		// contract; an empty advanced entry is provider misbehaviour.
+		if r.strict && r.attest {
+			return &RollbackError{Shard: si, AckedVersion: sh.acked, ServedVersion: b.Version}
+		}
+		r.suspectLocked(si)
 		return nil
 	}
 	st, err := r.decodeShard(si, b.Data)
 	if err != nil {
 		return err
 	}
-	r.mergeShardLocked(r.shards[si], st)
-	r.shards[si].seen = b.Version
+	if err := r.auditFetchedLocked(si, st, b); err != nil {
+		return err
+	}
+	r.mergeShardLocked(sh, st)
+	witnessAttestsLocked(sh, st.Attests)
+	sh.seen = b.Version
 	r.bytesPulled += int64(len(b.Data))
 	r.shardsPulled++
 	return nil

@@ -68,6 +68,12 @@ type shardState struct {
 	Docs      map[string]VersionedDoc `json:"docs"`
 	VV        map[string]uint64       `json:"vv,omitempty"`
 	Conflicts map[string]bool         `json:"conflicts,omitempty"`
+	// Writer is the replica that pushed this state; Attests carries the
+	// newest signed (epoch, Merkle root) commitment the writer held for each
+	// replica — the freshness evidence the rollback/fork audit in auth.go
+	// verifies. Both are empty on pre-attestation states.
+	Writer  string                 `json:"writer,omitempty"`
+	Attests map[string]Attestation `json:"attests,omitempty"`
 }
 
 // replicaShard is one in-memory partition of a replica, guarded by the
@@ -83,6 +89,18 @@ type replicaShard struct {
 	// seen is the cloud blob version last merged or written, so Pull can skip
 	// shards that did not advance.
 	seen int
+	// acked is the blob version the provider acknowledged for this replica's
+	// own last push. Unlike seen (which merges can advance), acked is set
+	// only from our own write acknowledgements, so a later read below it is
+	// provider guilt on any single-provider backend (freshness rule 1).
+	acked int
+	// attests is the witness set: the newest verified attestation per
+	// replica, advanced only by delta shard merges and our own pushes (see
+	// witnessAttestsLocked for why the full-state path must not touch it).
+	attests map[string]Attestation
+	// epoch backs the in-memory attestation counter when no external epoch
+	// source is installed.
+	epoch uint64
 }
 
 // Replica is one cell's view of the replicated personal space.
@@ -104,6 +122,16 @@ type Replica struct {
 	shards    []*replicaShard
 	connected bool
 	clock     func() time.Time
+
+	// Authenticated-catalog state (auth.go): authKey signs shard roots,
+	// attest toggles stamping, strict selects convict-vs-suspect on
+	// freshness violations, epochSource optionally backs epochs with a
+	// tamper-resistant counter, suspicions counts lenient-mode violations.
+	authKey     crypto.SymmetricKey
+	attest      bool
+	strict      bool
+	epochSource func(shard int) (uint64, error)
+	suspicions  int
 
 	pushes, pulls              int
 	bytesPushed, bytesPulled   int64
@@ -164,12 +192,16 @@ func NewReplicaShards(id, userID string, key crypto.SymmetricKey, svc cloud.Serv
 		connected: true,
 		clock:     clock,
 		changed:   make(map[string]bool),
+		authKey:   crypto.DeriveKey(key, "sync-root", userID),
+		attest:    true,
+		strict:    true,
 	}
 	for i := range r.shards {
 		r.shards[i] = &replicaShard{
 			docs:      make(map[string]VersionedDoc),
 			vv:        make(map[string]uint64),
 			conflicts: make(map[string]bool),
+			attests:   make(map[string]Attestation),
 		}
 	}
 	return r
@@ -471,6 +503,15 @@ func snapshotShardLocked(s *replicaShard) shardState {
 	}
 	for k := range s.conflicts {
 		out.Conflicts[k] = true
+	}
+	if len(s.attests) > 0 {
+		// Witnessed attestations ride along (the full-state protocol carries
+		// them for completeness); the delta push replaces this copy with a
+		// freshly stamped set in attestSnapshotLocked.
+		out.Attests = make(map[string]Attestation, len(s.attests))
+		for rep, a := range s.attests {
+			out.Attests[rep] = a
+		}
 	}
 	return out
 }

@@ -356,7 +356,11 @@ type CloudQuotaError = cloud.QuotaError
 // quorum reads with read repair, hinted handoff for members that go dark, and
 // an anti-entropy pass that reconciles diverged members (see
 // NewReplicatedCloud and DESIGN.md §9). Experiment E15 drills it: one of
-// three providers killed mid-workload, zero acknowledged writes lost.
+// three providers killed mid-workload, zero acknowledged writes lost. A
+// member convicted by the catalog audit can be quarantined (excluded from
+// read quorums while writes keep fanning to it) and is re-admitted by the
+// anti-entropy probe once it converges and re-verifies — experiment E17
+// drills that path against drop/rollback/fork adversaries (DESIGN.md §12).
 type ReplicatedCloud = cloud.Replicated
 
 // ReplicatedCloudOptions configure a replicated cloud; the zero value derives
@@ -388,6 +392,43 @@ type FaultyCloudOptions = cloud.FaultyOptions
 func NewFaultyCloud(inner CloudService, opts FaultyCloudOptions) *FaultyCloud {
 	return cloud.NewFaulty(inner, opts)
 }
+
+// AdversaryCloud wraps any cloud provider with the paper's weakly-malicious
+// provider: one that cannot break the cryptography but may silently drop
+// acknowledged writes, serve rolled-back state under current version numbers,
+// or fork divergent histories to different clients (see NewAdversaryCloud and
+// DESIGN.md §12). The authenticated catalog convicts all three within one
+// exchange — experiment E17 is the drill.
+type AdversaryCloud = cloud.Adversary
+
+// AdversaryCloudConfig parameterises the adversary; the zero value behaves
+// honestly until SetMode flips it.
+type AdversaryCloudConfig = cloud.AdversaryConfig
+
+// AdversaryCloudMode selects the adversary's behaviour.
+type AdversaryCloudMode = cloud.AdversaryMode
+
+// Adversary behaviours (see AdversaryCloud).
+const (
+	AdversaryHonest   = cloud.Honest
+	AdversaryDropping = cloud.Dropping
+	AdversaryRollback = cloud.Rollback
+	AdversaryFork     = cloud.Fork
+)
+
+// NewAdversaryCloud wraps inner with the given adversary configuration.
+func NewAdversaryCloud(inner CloudService, cfg AdversaryCloudConfig) *AdversaryCloud {
+	return cloud.NewAdversary(inner, cfg)
+}
+
+// Catalog-authentication verdicts: a replica's Sync/Pull (and the read-only
+// CheckShardBlob audit) return errors matching these sentinels when the
+// provider's served state betrays a rollback or a fork of the signed,
+// epoch-countersigned shard roots.
+var (
+	ErrRollbackDetected = syncpkg.ErrRollbackDetected
+	ErrForkDetected     = syncpkg.ErrForkDetected
+)
 
 // NewSeries creates an empty time series with a name and unit.
 func NewSeries(name, unit string) *Series { return timeseries.NewSeries(name, unit) }
@@ -465,8 +506,8 @@ func RunFleetLoad(f *Fleet, clients []CloudService, load FleetLoad) (*FleetLoadR
 	return sim.RunLoad(f, clients, load)
 }
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e15, e18, fig1)
-// with its default configuration and returns the result table.
+// RunExperiment runs one of the DESIGN.md experiments (e1..e15, e17, e18,
+// fig1) with its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
 // ExperimentIDs lists the available experiment identifiers.
