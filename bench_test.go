@@ -373,6 +373,34 @@ func BenchmarkE15ReplicatedCloud(b *testing.B) {
 	}
 }
 
+// BenchmarkE16CommonsQuery measures experiment E16 at 10k cells: one
+// scatter/gather aggregate query plus the straggler and dropping-provider
+// drills. Coverage and integrity are protocol properties, not machine-speed
+// numbers, so the benchmark enforces them; the reported metrics track the
+// per-cell traffic and the fleet rate.
+func BenchmarkE16CommonsQuery(b *testing.B) {
+	cfg := sim.DefaultE16Config()
+	cfg.FleetSizes = []int{10_000}
+	var bytesPerCell, cellsPerSec float64
+	for i := 0; i < b.N; i++ {
+		table, err := sim.RunE16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pct := table.Metrics["responded_pct"]; pct != 90 {
+			b.Fatalf("straggler drill must release at exactly 90%% coverage, got %.1f%%", pct)
+		}
+		if c := table.Metrics["corrupted"]; c != 0 {
+			b.Fatalf("corrupted releases: %.0f", c)
+		}
+		bytesPerCell += table.Metrics["bytes_per_cell"]
+		cellsPerSec += table.Metrics["commons_cells_per_sec"]
+	}
+	n := float64(b.N)
+	b.ReportMetric(bytesPerCell/n, "bytes/cell")
+	b.ReportMetric(cellsPerSec/n, "cells/s")
+}
+
 // BenchmarkE17ByzantineQuarantine measures experiment E17 at 10k documents:
 // drop/rollback/fork attacks against the durable provider and the replicated
 // fleet. Detection within one exchange, zero false positives and quorum

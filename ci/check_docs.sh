@@ -8,10 +8,14 @@
 #   1. Every experiment id written in README.md or EXPERIMENTS.md (any
 #      `E<n>` word) must have a recorded `## E<n> — ...` section in
 #      EXPERIMENTS.md. Referencing an experiment with no recorded numbers
-#      fails the build — unimplemented ids (e.g. the reserved 16/17) must
-#      not be named as experiments in these files.
+#      fails the build — unimplemented ids must not be named as
+#      experiments in these files.
 #   2. EXPERIMENTS.md's sections must appear in ascending numeric order,
 #      and each must be listed in the Index table at the top.
+#   3. Every experiment gated in ci/bench_baseline.json (any `e<n>.metric`
+#      bound, i.e. a BENCH_E<n>.json report the bench-trend job publishes)
+#      must have a recorded `## E<n> — ...` section in EXPERIMENTS.md: a
+#      benchmark CI enforces but the docs never explain is drift too.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,6 +40,14 @@ for id in $sections; do
   prev=$n
   if ! grep -qE "^\| \[$id\]\(#" EXPERIMENTS.md; then
     echo "FAIL: EXPERIMENTS.md section $id is missing from the Index table"
+    fail=1
+  fi
+done
+
+gated=$(grep -ohE '"e[0-9]+\.' ci/bench_baseline.json | sed -E 's/"e([0-9]+)\./E\1/' | sort -u)
+for id in $gated; do
+  if ! printf '%s\n' "$sections" | grep -qx "$id"; then
+    echo "FAIL: $id is gated in ci/bench_baseline.json (BENCH_$id.json) but EXPERIMENTS.md has no '## $id — ...' section"
     fail=1
   fi
 done

@@ -6,6 +6,14 @@
 //	tccloud -addr 127.0.0.1:7070 &
 //	tccell -id alice-gw -cloud 127.0.0.1:7070 -ingest ./payslip.pdf -type pay-slip
 //	tccell -id alice-gw -cloud 127.0.0.1:7070 -list
+//
+// With -commons N it instead demonstrates the distributed shared commons
+// (DESIGN.md §13): N responder cells, a three-member aggregator committee
+// and a census coordinator run one scatter/gather aggregate query over the
+// configured cloud's mailboxes — in-process by default, or across a live
+// tccloud server with -cloud:
+//
+//	tccell -cloud 127.0.0.1:7070 -commons 100
 package main
 
 import (
@@ -13,9 +21,79 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"time"
 
 	"trustedcells"
 )
+
+// commonsValue is demo cell i's deterministic contribution (one day's
+// consumption in watt-hours), so the expected sum over any contributor set
+// can be recomputed and the integrity property is visible from the shell.
+func commonsValue(i int) uint64 { return uint64(50 + (i*37)%450) }
+
+// runCommons demonstrates the distributed commons query plane over svc: n
+// responder cells with deterministic consumption values, a three-member
+// aggregator committee, and one k=10, eps=1.0 sum query released with
+// honest accounting. The exact sum recomputed over the claimed
+// contributors is printed alongside: on a lossy provider coverage shrinks,
+// but the two sums must still match.
+func runCommons(svc trustedcells.CloudService, n int) error {
+	key, err := trustedcells.NewCommonsKey()
+	if err != nil {
+		return err
+	}
+	community := trustedcells.NewCommonsCommunity("tccell-demo", key)
+
+	responders := make([]*trustedcells.CommonsResponder, n)
+	for i := range responders {
+		v := commonsValue(i)
+		responders[i] = trustedcells.NewCommonsResponder(fmt.Sprintf("cell-%04d", i), community, svc,
+			func(*trustedcells.CommonsSpec) (uint64, bool, error) { return v, true, nil })
+	}
+	aggIDs := []string{"agg-0", "agg-1", "agg-2"}
+	aggs := make([]*trustedcells.CommonsAggregator, len(aggIDs))
+	for i, id := range aggIDs {
+		aggs[i] = trustedcells.NewCommonsAggregator(id, community, svc)
+	}
+	co, err := trustedcells.NewCommonsCoordinator(trustedcells.CommonsCoordinatorConfig{
+		ID: "census", Community: community, Cloud: svc,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := co.Query(trustedcells.CommonsSpec{
+		ID:              "daily-consumption",
+		Filter:          trustedcells.CommonsFilter{Type: "power-series"},
+		Granularity:     trustedcells.GranularityDay,
+		Kind:            trustedcells.AggregateSum,
+		K:               10,
+		Epsilon:         1.0,
+		MaxContribution: 1_000,
+		Deadline:        30 * time.Second,
+		Aggregators:     aggIDs,
+	}, responders, aggs)
+	if err != nil {
+		return err
+	}
+	var want uint64
+	for _, id := range res.Contributors {
+		idx, err := strconv.Atoi(id[len("cell-"):])
+		if err != nil {
+			return fmt.Errorf("bad contributor id %q: %v", id, err)
+		}
+		want += commonsValue(idx)
+	}
+	fmt.Printf("commons query over %d cells in %s:\n", n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  released=%v responded=%d/%d suppressed=%d\n",
+		res.Released, res.Responded, res.Total, res.Suppressed)
+	fmt.Printf("  exact sum=%d (expected over %d contributors: %d) noisy sum=%.1f (eps=%.1f, k=%d)\n",
+		res.Sum, len(res.Contributors), want, res.NoisySum, res.Epsilon, res.K)
+	fmt.Printf("  traffic: %d B scattered, %d B gathered, %d messages\n",
+		res.BytesScattered, res.BytesGathered, res.Messages)
+	return nil
+}
 
 func main() {
 	var (
@@ -26,6 +104,7 @@ func main() {
 		docType  = flag.String("type", "document", "document type used for -ingest")
 		list     = flag.Bool("list", false, "list the catalog after restoring the vault")
 		read     = flag.String("read", "", "document ID to read back (as the owner)")
+		commons  = flag.Int("commons", 0, "run a distributed commons query demo over N responder cells")
 	)
 	flag.Parse()
 
@@ -40,6 +119,14 @@ func main() {
 			log.Fatalf("tccell: %v", err)
 		}
 	}
+
+	if *commons > 0 {
+		if err := runCommons(svc, *commons); err != nil {
+			log.Fatalf("tccell: commons demo: %v", err)
+		}
+		return
+	}
+
 	provisionSeed := *seed
 	if provisionSeed == "" {
 		provisionSeed = *id
@@ -109,6 +196,6 @@ func main() {
 	}
 
 	if *ingest == "" && !*list && *read == "" {
-		fmt.Println("tccell: nothing to do; pass -ingest, -list or -read (see -h)")
+		fmt.Println("tccell: nothing to do; pass -ingest, -list, -read or -commons (see -h)")
 	}
 }

@@ -39,6 +39,13 @@
 // unlimited. A framed connection binds to its tenant with a hello frame and
 // then sees only its own namespace. The classic line-protocol listener keeps
 // serving the backend directly, so existing clients are unaffected.
+//
+// The mailboxes double as the distributed shared commons' query plane
+// (DESIGN.md §13): a community coordinator scatters sealed query specs into
+// per-cell mailboxes on this server and gathers secret-shared answers back
+// through them, with no server-side support beyond Send/Receive — the
+// server only ever relays sealed envelopes it cannot open. Try it against a
+// running server with `tccell -cloud <addr> -commons 100`.
 package main
 
 import (

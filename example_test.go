@@ -87,6 +87,62 @@ func ExampleCell_IngestBatch() {
 	// Output: ingested=4 catalog=4
 }
 
+// Example_commonsQuery mirrors the README's commons-query quickstart: a
+// census coordinator scatters a sealed aggregate query into three cells'
+// commons mailboxes, each cell answers with additive secret shares (one per
+// aggregator, so no single party ever sees a cell's value in the clear),
+// and the committee releases the k-suppressed, noise-calibrated sum with
+// honest (responded, total, suppressed) accounting.
+func Example_commonsQuery() {
+	svc := trustedcells.NewMemoryCloud()
+	key, err := trustedcells.NewCommonsKey()
+	if err != nil {
+		fmt.Println("new key:", err)
+		return
+	}
+	community := trustedcells.NewCommonsCommunity("census", key)
+
+	// Three cells answer with fixed daily consumptions; a real fleet would
+	// use trustedcells.CommonsCellEvaluator to answer from sealed documents
+	// under each cell's own policy gate.
+	values := map[string]uint64{"alice": 120, "bob": 95, "carol": 145}
+	var responders []*trustedcells.CommonsResponder
+	for _, id := range []string{"alice", "bob", "carol"} {
+		v := values[id]
+		responders = append(responders, trustedcells.NewCommonsResponder(id, community, svc,
+			func(*trustedcells.CommonsSpec) (uint64, bool, error) { return v, true, nil }))
+	}
+	aggs := []*trustedcells.CommonsAggregator{
+		trustedcells.NewCommonsAggregator("agg-0", community, svc),
+		trustedcells.NewCommonsAggregator("agg-1", community, svc),
+	}
+	co, err := trustedcells.NewCommonsCoordinator(trustedcells.CommonsCoordinatorConfig{
+		ID: "statistics-office", Community: community, Cloud: svc,
+	})
+	if err != nil {
+		fmt.Println("new coordinator:", err)
+		return
+	}
+	res, err := co.Query(trustedcells.CommonsSpec{
+		ID:              "daily-consumption",
+		Filter:          trustedcells.CommonsFilter{Type: "power-series"},
+		Granularity:     trustedcells.GranularityDay,
+		Kind:            trustedcells.AggregateSum,
+		K:               3,
+		Epsilon:         1.0,
+		MaxContribution: 1000,
+		Deadline:        5 * time.Second,
+		Aggregators:     []string{"agg-0", "agg-1"},
+	}, responders, aggs)
+	if err != nil {
+		fmt.Println("query:", err)
+		return
+	}
+	fmt.Printf("released=%v responded=%d/%d sum=%d noised=%v\n",
+		res.Released, res.Responded, res.Total, res.Sum, res.NoisySum != float64(res.Sum))
+	// Output: released=true responded=3/3 sum=360 noised=true
+}
+
 // Example_rollbackDetection is the README's authenticated-catalog drill: a
 // provider that rolls a catalog shard back to an older (correctly sealed,
 // correctly versioned) state is convicted by the victim's very next

@@ -13,6 +13,14 @@
 //     paper highlights.
 //   - k-anonymity generalization of record releases.
 //   - Differentially-private perturbation (Laplace mechanism) of counts.
+//
+// distributed.go composes the three into the distributed query plane
+// (DESIGN.md §13): a Coordinator scatters sealed query Specs into per-cell
+// cloud mailboxes, each cell's Responder evaluates them locally under its
+// own policy gate and answers with per-aggregator additive secret shares,
+// and an Aggregator committee produces the total — released only past the
+// k-anonymity threshold, Laplace-noised, and charged against a cumulative
+// epsilon budget. Experiment E16 measures it at fleet scale.
 package commons
 
 import (

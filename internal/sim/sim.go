@@ -103,7 +103,7 @@ func (t *Table) String() string {
 
 // ExperimentIDs lists the experiments in presentation order.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e17", "e18", "fig1"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "fig1"}
 }
 
 // Run dispatches an experiment by ID with default parameters.
@@ -139,6 +139,8 @@ func Run(id string) (*Table, error) {
 		return RunE14(DefaultE14Config())
 	case "e15":
 		return RunE15(DefaultE15Config())
+	case "e16":
+		return RunE16(DefaultE16Config())
 	case "e17":
 		return RunE17(DefaultE17Config())
 	case "e18":
@@ -184,6 +186,12 @@ func RunQuick(id string) (*Table, error) {
 		cfg := DefaultE15Config()
 		cfg.CatalogSizes = []int{10_000}
 		return RunE15(cfg)
+	case "e16":
+		// The gated scale point: the 10k-cell fleet carries the headline
+		// metrics and both drills.
+		cfg := DefaultE16Config()
+		cfg.FleetSizes = []int{10_000}
+		return RunE16(cfg)
 	case "e17":
 		cfg := DefaultE17Config()
 		cfg.CatalogSizes = []int{10_000}

@@ -24,8 +24,8 @@ func TestRunDispatchUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(ids))
 	}
 }
 
@@ -428,6 +428,36 @@ func TestRunE15Shape(t *testing.T) {
 	}
 	if table.Metrics["replication_overhead"] <= 0 || table.Metrics["degraded_overhead"] <= 0 {
 		t.Fatalf("overhead metrics missing: %v", table.Metrics)
+	}
+}
+
+// TestRunE16Shape verifies the distributed commons query experiment at a
+// reduced scale. Timing is machine-dependent but the protocol properties are
+// not: the healthy run covers the whole fleet, the straggler drill releases
+// at exactly 90% coverage, and no drill — the dropping provider included —
+// may release a sum differing from the exact sum over its contributors.
+func TestRunE16Shape(t *testing.T) {
+	cfg := DefaultE16Config()
+	cfg.FleetSizes = []int{2_000}
+	table, err := RunE16(cfg)
+	if err != nil {
+		t.Fatalf("RunE16: %v", err)
+	}
+	// One healthy row per size, plus the straggler and dropping drills.
+	if want := len(cfg.FleetSizes) + 2; len(table.Rows) != want {
+		t.Fatalf("rows = %d, want %d\n%s", len(table.Rows), want, table)
+	}
+	if pct := table.Metrics["responded_pct"]; pct != 90 {
+		t.Fatalf("straggler drill must release at exactly 90%% coverage, got %.1f%%\n%s", pct, table)
+	}
+	if c := table.Metrics["corrupted"]; c != 0 {
+		t.Fatalf("corrupted releases: %.0f\n%s", c, table)
+	}
+	if bpc := table.Metrics["bytes_per_cell"]; bpc <= 0 || bpc > 2000 {
+		t.Fatalf("bytes/cell out of range: %.0f\n%s", bpc, table)
+	}
+	if cps := table.Metrics["commons_cells_per_sec"]; cps <= 0 {
+		t.Fatalf("cells/s must be positive, got %.0f\n%s", cps, table)
 	}
 }
 

@@ -473,6 +473,99 @@ func SecureSum(participants []commons.Participant, cloudAssisted bool, aggregato
 // Participant is one cell contributing to a shared-commons computation.
 type Participant = commons.Participant
 
+// CommonsCommunity is a shared-commons membership: a name plus a group
+// secret from which every member, aggregator and querier key of the
+// distributed query plane is derived (see NewCommonsCommunity and
+// DESIGN.md §13).
+type CommonsCommunity = commons.Community
+
+// CommonsSpec is a fleet-wide aggregate query: a document filter, an
+// aggregate kind, the k-anonymity release threshold, the differential-
+// privacy epsilon, the per-cell contribution clamp, the response deadline
+// and the aggregator committee. It is sealed per cell and scattered into
+// the fleet's commons mailboxes.
+type CommonsSpec = commons.Spec
+
+// CommonsFilter selects which documents of a cell a commons query covers.
+type CommonsFilter = commons.Filter
+
+// CommonsResult is a released (or suppressed) fleet aggregate with honest
+// accounting: responded/declined/suppressed counts against the scatter
+// total, the exact and noised sums, and the traffic the query cost.
+type CommonsResult = commons.Result
+
+// CommonsPending is an in-flight scattered query, consumed by
+// CommonsCoordinator.Gather.
+type CommonsPending = commons.Pending
+
+// CommonsCoordinator is the querier side of the distributed commons plane:
+// it scatters sealed query specs, gathers the cells' secret-shared answers,
+// drives the aggregator committee to a consistent partial-total set, and
+// releases the k-suppressed, Laplace-noised aggregate while charging the
+// epsilon budget (see NewCommonsCoordinator).
+type CommonsCoordinator = commons.Coordinator
+
+// CommonsCoordinatorConfig configures a CommonsCoordinator.
+type CommonsCoordinatorConfig = commons.CoordinatorConfig
+
+// CommonsResponder is the cell side of the distributed commons plane: it
+// polls the cell's commons mailbox, evaluates query specs locally, and
+// answers with additive secret shares no single aggregator can invert.
+type CommonsResponder = commons.Responder
+
+// CommonsAggregator is one member of a query's aggregation committee: it
+// opens only its own share of each cell's value and publishes partial
+// totals over the committee-agreed contributor set.
+type CommonsAggregator = commons.Aggregator
+
+// CommonsEvalFunc evaluates one query spec against a cell's local data,
+// returning (value, ok, err); ok=false declines without revealing why.
+type CommonsEvalFunc = commons.EvalFunc
+
+// Commons error sentinels: a malformed sealed payload, a coordinator whose
+// cumulative epsilon budget is spent, and a gather whose aggregator
+// committee could not complete before the deadline. Match with errors.Is.
+var (
+	ErrCommonsBadSpec          = commons.ErrBadSpec
+	ErrCommonsBudgetExhausted  = commons.ErrBudgetExhausted
+	ErrCommonsGatherIncomplete = commons.ErrGatherIncomplete
+)
+
+// NewCommonsKey generates a community group secret; every member of one
+// community must share it.
+func NewCommonsKey() (crypto.SymmetricKey, error) { return crypto.NewSymmetricKey() }
+
+// NewCommonsCommunity names a shared-commons community over a group secret.
+func NewCommonsCommunity(name string, key crypto.SymmetricKey) *CommonsCommunity {
+	return commons.NewCommunity(name, key)
+}
+
+// NewCommonsCoordinator builds the querier side of a community's
+// distributed query plane.
+func NewCommonsCoordinator(cfg CommonsCoordinatorConfig) (*CommonsCoordinator, error) {
+	return commons.NewCoordinator(cfg)
+}
+
+// NewCommonsResponder registers cell id as a community member answering
+// commons queries with eval.
+func NewCommonsResponder(id string, comm *CommonsCommunity, svc CloudService, eval CommonsEvalFunc) *CommonsResponder {
+	return commons.NewResponder(id, comm, svc, eval)
+}
+
+// NewCommonsAggregator builds one committee member of a community.
+func NewCommonsAggregator(id string, comm *CommonsCommunity, svc CloudService) *CommonsAggregator {
+	return commons.NewAggregator(id, comm, svc)
+}
+
+// CommonsCellEvaluator answers commons queries from a real cell's sealed
+// documents: the spec's filter and aggregate run through the planned,
+// batched query pipeline under the cell's own policy gate, so a query the
+// owner's rules deny is declined — and the querier cannot distinguish
+// refusal from absence.
+func CommonsCellEvaluator(cell *Cell, subject string, actx AccessContext) CommonsEvalFunc {
+	return commons.CellEvaluator(cell, subject, actx)
+}
+
 // Fleet is a population of simulated cells cheap enough to scale to
 // millions: one 4-byte sequence counter per cell at rest, with sealing keys
 // and AEAD machinery shared fleet-wide (see NewFleet, RunFleetLoad and
@@ -506,8 +599,8 @@ func RunFleetLoad(f *Fleet, clients []CloudService, load FleetLoad) (*FleetLoadR
 	return sim.RunLoad(f, clients, load)
 }
 
-// RunExperiment runs one of the DESIGN.md experiments (e1..e15, e17, e18,
-// fig1) with its default configuration and returns the result table.
+// RunExperiment runs one of the DESIGN.md experiments (e1..e18, fig1) with
+// its default configuration and returns the result table.
 func RunExperiment(id string) (*sim.Table, error) { return sim.Run(id) }
 
 // ExperimentIDs lists the available experiment identifiers.
